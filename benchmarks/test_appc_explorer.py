@@ -1,0 +1,62 @@
+"""Appendix C: multi-flow adversarial search against AIMD.
+
+The paper extended CCAC to multiple flows and "used CCAC to prove that
+there is no trace of length 10 RTTs where starvation is unbounded for
+two AIMD flows when the bottleneck has 1 BDP of buffer". Our substitute
+search reproduces both directions:
+
+* exhaustive enumeration over all discretized adversary traces of ~10
+  steps confirms the unfairness stays bounded (loss only from overflow);
+* allowing non-congestive loss injection (Section 5.4's PCC Allegro
+  analysis) lets the adversary bias AIMD — but recovery keeps the
+  bounded shape over longer horizons.
+"""
+
+from conftest import report
+from repro.model.explorer import (AimdFlow, NetParams, exhaustive_search,
+                                  guided_search, simulate_trace,
+                                  unfairness_objective)
+from repro.model.explorer import TraceStep
+
+NET = NetParams(link_rate=1.5e6, rm=0.05, jitter_bound=0.02,
+                buffer_bytes=1.5e6 * 0.05)  # 1 BDP of buffer
+
+
+def generate():
+    flows = [AimdFlow(initial_packets=10), AimdFlow(initial_packets=10)]
+    exhaustive = exhaustive_search(flows, NET, horizon=10,
+                                   objective=unfairness_objective)
+    injecting = NetParams(link_rate=1.5e6, rm=0.05, jitter_bound=0.02,
+                          buffer_bytes=1.5e6 * 0.05,
+                          allow_loss_injection=True)
+    with_loss = guided_search(flows, injecting, horizon=40,
+                              objective=unfairness_objective,
+                              rollouts=60, seed=5)
+    recovery = simulate_trace(
+        [AimdFlow(initial_packets=2), AimdFlow(initial_packets=60)],
+        NET, [TraceStep(jitters=(0.0, 0.0), losses=(False, False))] * 300)
+    return exhaustive, with_loss, recovery
+
+
+def test_appc_aimd_bounded_unfairness(once):
+    exhaustive, with_loss, recovery = once(generate)
+    lines = [
+        f"exhaustive, 10 steps, overflow-only loss "
+        f"({exhaustive.traces_evaluated} traces): worst ratio "
+        f"{exhaustive.best_objective:.2f}",
+        f"guided, 40 steps, WITH loss injection: worst ratio "
+        f"{with_loss.best_objective:.2f}",
+        f"recovery from 30:1 cwnd imbalance after 300 steps: ratio "
+        f"{recovery.throughput_ratio():.2f}",
+        "(paper: no unbounded starvation for AIMD at 1 BDP buffer)",
+    ]
+    report("Appendix C: AIMD bounded unfairness", lines)
+
+    # Delay jitter alone cannot make AIMD meaningfully unfair (AIMD
+    # ignores delay): the exhaustive bound is essentially 1.
+    assert exhaustive.exhaustive
+    assert exhaustive.best_objective < 1.5
+    # Loss injection biases AIMD but the bias stays bounded.
+    assert with_loss.best_objective < 20.0
+    # AIMD converges back from gross imbalance (no starvation).
+    assert recovery.throughput_ratio() < 3.0

@@ -1,0 +1,54 @@
+"""Figure 1: ideal-path RTT of a delay-convergent CCA.
+
+Regenerates the paper's Figure 1 picture: the RTT of a delay-convergent
+CCA on an ideal path enters a bounded interval [d_min, d_max] after a
+finite time T and stays there. We render the trajectory's phases and
+assert Definition 1 empirically.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro import units
+from repro.core.convergence import measure_converged_range
+from repro.model.cca import OscillatingCCA
+from repro.model.fluid import run_ideal_path
+
+RM = 0.05
+C = units.mbps(24)
+
+
+def generate():
+    # Start above capacity so the run shows the Figure 1 shape: a
+    # startup transient (queue overshoot) that settles into the band.
+    cca = OscillatingCCA(alpha=6000.0, rm=RM, gamma=0.05, initial=C * 4)
+    trajectory = run_ideal_path(cca, C, RM, duration=30.0)
+    measured = measure_converged_range(trajectory)
+    return trajectory, measured
+
+
+def test_fig1_convergence(once):
+    trajectory, measured = once(generate)
+    # Render the RTT envelope over time in coarse buckets.
+    lines = []
+    bucket = 2.0
+    times = trajectory.times
+    for start in np.arange(0, 30.0, bucket):
+        mask = (times >= start) & (times < start + bucket)
+        window = trajectory.delays[mask] * 1e3
+        lines.append(f"t={start:5.1f}-{start + bucket:4.1f}s  RTT "
+                     f"{window.min():7.2f} - {window.max():7.2f} ms")
+    lines.append(f"convergence time T = {measured.t_converged:.2f} s")
+    lines.append(f"converged range [d_min, d_max] = "
+                 f"[{measured.d_min * 1e3:.2f}, {measured.d_max * 1e3:.2f}]"
+                 f" ms, delta = {measured.delta * 1e3:.3f} ms")
+    report("Figure 1: delay convergence on an ideal path", lines)
+
+    # Definition 1, empirically: after T the RTT stays in the interval.
+    post = trajectory.delays[times >= measured.t_converged]
+    assert post.min() >= measured.d_min - 1e-9
+    assert post.max() <= measured.d_max + 1e-9
+    # The converged band is far tighter than the startup transient.
+    startup_range = (trajectory.delays.max() - trajectory.delays.min())
+    assert measured.delta < 0.5 * startup_range
+    assert measured.d_min >= RM

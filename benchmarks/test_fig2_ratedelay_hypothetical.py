@@ -1,0 +1,46 @@
+"""Figure 2: rate-delay graph of a hypothetical delay-convergent CCA.
+
+Sweeps the ideal path's link rate C at fixed Rm and plots the
+equilibrium RTT range. The shape to reproduce: d_max(C) and d_min(C)
+are decreasing in C and flatten toward Rm, with delay rising sharply as
+C -> 0 (a transmission delay of 1/C is unavoidable).
+"""
+
+from conftest import report
+from repro import units
+from repro.core.convergence import measure_cca_range
+from repro.model.cca import WindowTargetCCA
+
+RM = 0.05
+RATES_MBPS = [0.5, 1, 2, 4, 8, 16, 32, 64]
+
+
+def generate():
+    measured = []
+    for rate_mbps in RATES_MBPS:
+        rate = units.mbps(rate_mbps)
+        measured.append(measure_cca_range(
+            lambda: WindowTargetCCA(alpha=9000.0, rm=RM, pedestal=0.0,
+                                    initial=rate / 2),
+            link_rate=rate, rm=RM, duration=30.0))
+    return measured
+
+
+def test_fig2_rate_delay_hypothetical(once):
+    measured = once(generate)
+    lines = ["link rate -> equilibrium RTT range (Rm = 50 ms)"]
+    for rate_mbps, m in zip(RATES_MBPS, measured):
+        lines.append(f"C = {rate_mbps:6.1f} Mbit/s : "
+                     f"[{m.d_min * 1e3:7.2f}, {m.d_max * 1e3:7.2f}] ms "
+                     f"(delta = {m.delta * 1e3:.3f} ms)")
+    report("Figure 2: rate-delay graph (hypothetical CCA)", lines)
+
+    d_maxes = [m.d_max for m in measured]
+    # Decreasing in C...
+    assert all(a >= b - 1e-9 for a, b in zip(d_maxes, d_maxes[1:]))
+    # ...flattening toward Rm at high rates...
+    assert d_maxes[-1] < RM * 1.05
+    # ...and clearly elevated at the lowest rate (alpha/C term).
+    assert d_maxes[0] > RM + 9000.0 / units.mbps(0.5) * 0.5
+    # Bounded delta at every rate (Definition 1's second condition).
+    assert max(m.delta for m in measured) < 0.01

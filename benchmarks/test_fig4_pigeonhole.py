@@ -1,0 +1,63 @@
+"""Figure 4: the pigeonhole argument of Theorem 1, Step 1.
+
+Probes the geometric rate sequence lambda*(s/f)^i and buckets each
+rate's converged d_max into epsilon-intervals until two rates collide.
+The shape to reproduce: a pair C1, C2 with C2/C1 >= s/f whose delay
+ranges fit inside a common interval of width delta_max + epsilon.
+"""
+
+from conftest import report
+from repro import units
+from repro.core.convergence import measure_converged_range
+from repro.core.pigeonhole import find_pigeonhole_pair
+from repro.model.cca import WindowTargetCCA
+from repro.model.fluid import run_ideal_path
+
+RM = 0.05
+S = 10.0
+F = 0.5
+EPSILON = 0.002
+LAM = 1.2e6   # 9.6 Mbit/s
+
+
+def generate():
+    cache = {}
+
+    def measure(rate):
+        if rate not in cache:
+            traj = run_ideal_path(
+                WindowTargetCCA(alpha=6000.0, rm=RM, pedestal=0.04,
+                                initial=rate / 2),
+                rate, RM, 35.0)
+            cache[rate] = measure_converged_range(traj)
+        return cache[rate]
+
+    pair = find_pigeonhole_pair(measure, lam=LAM, s=S, f=F,
+                                epsilon=EPSILON, rm=RM, d_max_bound=0.15)
+    return pair, cache
+
+
+def test_fig4_pigeonhole(once):
+    pair, cache = once(generate)
+    lines = [f"rate sequence lambda*(s/f)^i with lambda = "
+             f"{units.to_mbps(LAM):.1f} Mbit/s, s/f = {S / F:.0f}, "
+             f"epsilon = {EPSILON * 1e3:.1f} ms"]
+    for rate in sorted(cache):
+        m = cache[rate]
+        marker = ""
+        if rate in (pair.c1.link_rate, pair.c2.link_rate):
+            marker = "   <-- pigeonhole pair"
+        lines.append(f"C = {units.to_mbps(rate):10.1f} Mbit/s  d_max = "
+                     f"{m.d_max * 1e3:8.3f} ms{marker}")
+    lines.append(f"pair ratio C2/C1 = {pair.rate_ratio:.1f} "
+                 f"(needs >= s/f = {S / F:.0f})")
+    lines.append(f"common delay interval width = "
+                 f"{pair.common_width() * 1e3:.3f} ms")
+    report("Figure 4: pigeonhole pair search", lines)
+
+    assert pair.rate_ratio >= S / F - 1e-9
+    assert abs(pair.c1.d_max - pair.c2.d_max) < EPSILON
+    # Both ranges fit in an interval of width delta_max + epsilon where
+    # delta_max bounds each individual range.
+    delta_max = max(pair.c1.delta, pair.c2.delta)
+    assert pair.common_width() <= delta_max + EPSILON + 1e-9

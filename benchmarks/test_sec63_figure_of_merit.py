@@ -1,0 +1,52 @@
+"""Section 6.3: figure of merit mu+/mu- for rate-delay maps.
+
+Regenerates the paper's worked comparison between the Vegas family
+(Equation 1: O(Rmax/D)) and the exponential map of Equation 2
+(O(s^(Rmax/D))), including the quoted examples: for D = 10 ms, s = 2,
+Rmax = 100 ms the exponential map supports ~2^10 ~ 1e3 of rate range,
+and s = 4 raises that to ~2^20 ~ 1e6.
+"""
+
+import math
+
+from conftest import report
+from repro import units
+from repro.core.ratedelay import compare_figures_of_merit
+
+
+def generate():
+    rows = []
+    for d_ms, s in [(10, 2.0), (10, 4.0), (5, 2.0), (20, 2.0)]:
+        result = compare_figures_of_merit(
+            jitter_bound=units.ms(d_ms), s=s, r_max=units.ms(110),
+            rm=units.ms(10))
+        rows.append((d_ms, s, result))
+    return rows
+
+
+def test_sec63_figure_of_merit(once):
+    rows = once(generate)
+    lines = ["D (ms)  s    Vegas mu+/mu-   exponential mu+/mu-"]
+    for d_ms, s, result in rows:
+        lines.append(f"{d_ms:5d}  {s:3.0f}  {result['vegas_ratio']:13.1f}"
+                     f"  {result['exponential_ratio']:18.3g}")
+    report("Section 6.3: supported rate range (figure of merit)", lines)
+
+    by_key = {(d, s): r for d, s, r in rows}
+
+    # The paper's worked numbers: 2^10 ~ 1e3 and 2^20 ~ 1e6.
+    base = by_key[(10, 2.0)]
+    assert base["exponential_closed_form"] == math.pow(2, 9)
+    assert 500 <= base["exponential_closed_form"] <= 2000
+    stronger = by_key[(10, 4.0)]
+    assert stronger["exponential_closed_form"] >= 2 ** 18
+
+    # Vegas's range is linear in 1/D; exponential's is exponential.
+    assert by_key[(5, 2.0)]["vegas_closed_form"] == (
+        2 * by_key[(10, 2.0)]["vegas_closed_form"])
+    assert (by_key[(5, 2.0)]["exponential_closed_form"]
+            > by_key[(10, 2.0)]["exponential_closed_form"] ** 1.5)
+
+    # The exponential map beats the Vegas family everywhere tested.
+    for _, _, result in rows:
+        assert result["exponential_ratio"] > result["vegas_ratio"]

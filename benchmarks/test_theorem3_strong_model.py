@@ -1,0 +1,48 @@
+"""Theorem 3: strong-model starvation of delay-bounding CCAs.
+
+The strong adversary also controls the queueing delay. Starting from an
+ideal-path trace, it repeatedly subtracts D (the max observed delay)
+from the delay trajectory; f-efficiency forces the throughput to blow up
+once the delay floor is reached, so consecutive traces eventually differ
+by any factor s — and running that pair on one queue (one flow jittered
+by D, the other by 0) starves one of them.
+"""
+
+import math
+
+from conftest import report
+from repro import units
+from repro.core.theorems import construct_strong_model_starvation
+from repro.model.cca import WindowTargetCCA
+
+RM = 0.05
+BASE = 1.2e6
+
+
+def generate():
+    return construct_strong_model_starvation(
+        lambda: WindowTargetCCA(alpha=6000.0, rm=RM, pedestal=0.04,
+                                initial=BASE / 2),
+        base_rate=BASE, rm=RM, s=10.0, duration=25.0)
+
+
+def test_theorem3_strong_model(once):
+    con = once(generate)
+    lines = [f"derived jitter bound D = {con.jitter_bound * 1e3:.1f} ms "
+             f"(max delay of the base trace)"]
+    for i, trace in enumerate(con.traces):
+        tput = trace.throughput(12.5)
+        lines.append(f"  trace {i}: mean rate "
+                     f"{units.to_mbps(tput):12.2f} Mbit/s, "
+                     f"max queueing "
+                     f"{(trace.delays.max() - RM) * 1e3:8.2f} ms")
+    lines.append(f"consecutive-trace ratio: {con.ratio:.1f} "
+                 f"(target s = {con.s_target:.0f}) at pair index "
+                 f"{con.chosen_index}")
+    report("Theorem 3: strong-model starvation", lines)
+
+    assert con.starved
+    assert con.ratio >= con.s_target
+    # The subtraction strictly lowers the delay trace each step.
+    maxima = [t.delays.max() for t in con.traces]
+    assert all(a >= b - 1e-9 for a, b in zip(maxima, maxima[1:]))

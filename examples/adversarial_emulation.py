@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Theorem 1's constructive adversary, step by step, on the fluid model.
+
+Walks the three steps of the starvation proof with printed intermediate
+artifacts:
+
+  Step 1 — pigeonhole: probe rates lambda*(s/f)^i until two land their
+           converged delays in the same epsilon-interval.
+  Step 2 — record the single-flow delay/rate trajectories on C1 and C2.
+  Step 3 — build the Equation 5 shared-delay schedule d*(t), derive the
+           per-flow jitter eta_i(t) = bar_d_i(t) - d*(t), verify
+           0 <= eta <= D, and run both flows on the shared queue.
+
+The result: two identical, deterministic, efficient, delay-convergent
+CCAs sharing one link at a 20:1 throughput ratio — with every packet's
+extra delay inside a 7 ms jitter budget.
+
+Run:  python examples/adversarial_emulation.py
+"""
+
+from repro import units
+from repro.core.emulation import verify_shared_delay
+from repro.core.theorems import construct_starvation
+from repro.model.cca import WindowTargetCCA
+
+RM = 0.05
+S = 10.0
+F = 0.5
+
+
+def main():
+    print(f"Target: throughput ratio s = {S:.0f} between two identical "
+          f"flows (f = {F}).")
+    construction = construct_starvation(
+        lambda initial: WindowTargetCCA(alpha=6000.0, rm=RM,
+                                        pedestal=0.04, initial=initial),
+        rm=RM, s=S, f=F, delta_max=0.002, lam=1.2e6, duration=40.0,
+        emulate_duration=10.0)
+
+    pair = construction.pair
+    print("\nStep 1 — pigeonhole pair:")
+    print(f"  C1 = {units.to_mbps(pair.c1.link_rate):10.1f} Mbit/s, "
+          f"converged delay [{pair.c1.d_min * 1e3:.2f}, "
+          f"{pair.c1.d_max * 1e3:.2f}] ms")
+    print(f"  C2 = {units.to_mbps(pair.c2.link_rate):10.1f} Mbit/s, "
+          f"converged delay [{pair.c2.d_min * 1e3:.2f}, "
+          f"{pair.c2.d_max * 1e3:.2f}] ms")
+    print(f"  rate ratio {pair.rate_ratio:.0f} >= s/f = {S / F:.0f}; "
+          f"delay ranges {pair.common_width() * 1e3:.2f} ms apart")
+
+    print("\nStep 2 — single-flow trajectories recorded "
+          f"(T1 = {pair.c1.t_converged:.1f} s, "
+          f"T2 = {pair.c2.t_converged:.1f} s).")
+
+    plan = construction.plan
+    print("\nStep 3 — emulation plan (Equation 5):")
+    print(f"  proof case: {construction.case}")
+    print(f"  jitter budget D = {construction.jitter_bound * 1e3:.2f} ms")
+    print(f"  eta_1 in [{plan.eta1.min() * 1e3:.2f}, "
+          f"{plan.eta1.max() * 1e3:.2f}] ms; "
+          f"eta_2 in [{plan.eta2.min() * 1e3:.2f}, "
+          f"{plan.eta2.max() * 1e3:.2f}] ms")
+    print(f"  pre-filled queue: {plan.initial_queue_delay * 1e3:.1f} ms "
+          f"at rate C1+C2 = {units.to_mbps(plan.link_rate):.1f} Mbit/s")
+    if construction.case == 1:
+        deviation = verify_shared_delay(
+            plan, construction.traj1, construction.traj2,
+            pair.c1.t_converged, pair.c2.t_converged, tolerance=1e-2)
+        print(f"  d*(t) integration matches Equation 5 to {deviation:.1e}")
+
+    tputs = [units.to_mbps(x) for x in construction.two_flow.throughputs()]
+    print("\nResult — two-flow run with the constructed adversary:")
+    print(f"  flow 1: {tputs[0]:10.1f} Mbit/s")
+    print(f"  flow 2: {tputs[1]:10.1f} Mbit/s")
+    print(f"  ratio:  {construction.achieved_ratio:10.1f} "
+          f"(target {S:.0f}) -> "
+          f"{'STARVED' if construction.starved else 'not starved'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro: reproduction of "Starvation in End-to-End Congestion Control".
+
+(Arun, Alizadeh, Balakrishnan — SIGCOMM 2022.)
+
+Layout:
+    repro.core     — the paper's theory (Definitions 1-4, Theorems 1-3,
+                     pigeonhole + emulation constructions, rate-delay maps).
+    repro.model    — fluid-flow network model and deterministic fluid CCAs.
+    repro.sim      — packet-level discrete-event simulator (Mahimahi
+                     substitute): FIFO bottleneck, jitter, loss, hosts.
+    repro.ccas     — packet-level CCAs: Vegas, FAST, Copa, BBR, PCC
+                     Vivace/Allegro, NewReno, Cubic, LEDBAT, Algorithm 1.
+    repro.analysis — metrics, Figure 3 sweeps, the Section 5 scenario
+                     library, ASCII reporting.
+    repro.units    — Mbit/s / ms / bytes conversions.
+
+Quickstart:
+
+    >>> from repro import units
+    >>> from repro.sim import LinkConfig, FlowConfig, run_scenario
+    >>> from repro.ccas import Vegas
+    >>> stats = run_scenario(
+    ...     LinkConfig(rate=units.mbps(12)),
+    ...     [FlowConfig(cca_factory=Vegas, rm=units.ms(40))],
+    ...     duration=5.0)
+"""
+
+from . import units
+from .errors import (ConfigurationError, ConvergenceError,
+                     EmulationInfeasibleError, ReproError, SimulationError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError", "ConvergenceError", "EmulationInfeasibleError",
+    "ReproError", "SimulationError", "units",
+]

@@ -1,0 +1,17 @@
+"""Analysis utilities: metrics, sweeps, scenario library, reporting."""
+
+from .metrics import (loss_rate, mean_rtt_ms, queueing_delay_ms,
+                      summarize_run, throughputs_mbps, utilization)
+from .report import (comparison_line, describe_run, flow_table,
+                     format_table, rate_delay_ascii)
+from .sweep import (RateDelayCurve, RateDelayPoint, log_rate_grid,
+                    sweep_rate_delay)
+from .traces import export_run_tsv, flow_arrays, queue_arrays, write_tsv
+
+__all__ = [
+    "RateDelayCurve", "RateDelayPoint", "comparison_line", "describe_run",
+    "flow_table", "format_table", "log_rate_grid", "loss_rate",
+    "mean_rtt_ms", "queueing_delay_ms", "rate_delay_ascii",
+    "export_run_tsv", "flow_arrays", "queue_arrays", "summarize_run",
+    "sweep_rate_delay", "throughputs_mbps", "utilization", "write_tsv",
+]

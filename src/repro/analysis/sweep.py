@@ -1,0 +1,99 @@
+"""Link-rate sweeps producing rate-delay curves (Figure 3).
+
+For each link rate, run a single flow of the CCA on an ideal path in the
+packet simulator, discard the pre-convergence prefix, and record the
+observed RTT range. The result is the shaded region of the paper's
+Figure 3 — d_min(C) and d_max(C) as functions of C for a fixed Rm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from .. import units
+from ..sim.network import FlowConfig, LinkConfig
+from ..sim.runner import run_scenario_full
+
+
+@dataclass
+class RateDelayPoint:
+    """One sweep sample: the equilibrium RTT range at a link rate."""
+
+    link_rate: float
+    d_min: float
+    d_max: float
+    throughput: float
+
+    @property
+    def delta(self) -> float:
+        return self.d_max - self.d_min
+
+    @property
+    def utilization(self) -> float:
+        return self.throughput / self.link_rate
+
+
+@dataclass
+class RateDelayCurve:
+    """A full Figure 3 panel for one CCA."""
+
+    label: str
+    rm: float
+    points: List[RateDelayPoint]
+
+    def delta_max(self) -> float:
+        return max(p.delta for p in self.points)
+
+    def worst_utilization(self) -> float:
+        return min(p.utilization for p in self.points)
+
+
+def sweep_rate_delay(cca_factory: Callable[[], object],
+                     link_rates_mbps: Sequence[float], rm: float,
+                     label: str = "",
+                     duration: Optional[float] = None,
+                     warmup_fraction: float = 0.5,
+                     mss: int = 1500) -> RateDelayCurve:
+    """Measure the equilibrium RTT range across link rates.
+
+    Args:
+        cca_factory: fresh CCA per run.
+        link_rates_mbps: sweep grid in Mbit/s (the paper uses
+            0.1 .. 100).
+        rm: propagation RTT (the paper's Figure 3 uses 100 ms).
+        duration: per-point run length; default scales with the expected
+            convergence time (longer at low rates, where one packet takes
+            longer and control steps are slower).
+        warmup_fraction: fraction of the run discarded as transient.
+    """
+    points: List[RateDelayPoint] = []
+    for rate_mbps in link_rates_mbps:
+        rate = units.mbps(rate_mbps)
+        # Low rates need longer runs: each cwnd adjustment takes an RTT
+        # and RTTs are dominated by transmission time at low C.
+        run_time = duration
+        if run_time is None:
+            packet_time = mss / rate
+            run_time = max(30 * rm, 400 * packet_time, 5.0)
+            run_time = min(run_time, 120.0)
+        result = run_scenario_full(
+            LinkConfig(rate=rate),
+            [FlowConfig(cca_factory=cca_factory, rm=rm, mss=mss)],
+            duration=run_time, warmup=run_time * warmup_fraction)
+        stats = result.stats[0]
+        points.append(RateDelayPoint(link_rate=rate,
+                                     d_min=stats.min_rtt,
+                                     d_max=stats.max_rtt,
+                                     throughput=stats.throughput))
+    return RateDelayCurve(label=label, rm=rm, points=points)
+
+
+def log_rate_grid(lo_mbps: float = 0.1, hi_mbps: float = 100.0,
+                  points: int = 7) -> List[float]:
+    """A log-spaced link-rate grid like Figure 3's x axis."""
+    if lo_mbps <= 0 or hi_mbps <= lo_mbps or points < 2:
+        raise ValueError("invalid grid parameters")
+    step = (hi_mbps / lo_mbps) ** (1.0 / (points - 1))
+    return [lo_mbps * step ** i for i in range(points)]

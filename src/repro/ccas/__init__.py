@@ -1,0 +1,44 @@
+"""Congestion control algorithms for the packet-level simulator.
+
+Delay-convergent CCAs studied by the paper: :class:`Vegas`,
+:class:`FastTCP`, :class:`Copa`, :class:`BBR`, :class:`Vivace`,
+:class:`Ledbat`, and the paper's own :class:`JitterAware` (Algorithm 1).
+Loss-based (non-delay-convergent) baselines: :class:`NewReno`,
+:class:`Cubic`, :class:`Allegro`.
+"""
+
+from .allegro import Allegro
+from .base import CCA, RateCCA, WindowCCA
+from .bbr import BBR
+from .copa import Copa
+from .cubic import Cubic
+from .delay_aimd import DelayAimd
+from .ecn import EcnAimd
+from .fast import FastTCP
+from .jitteraware import JitterAware
+from .ledbat import Ledbat
+from .reno import NewReno
+from .vegas import Vegas
+from .verus import Verus
+from .vivace import Vivace
+from .windowtarget import WindowTarget
+
+#: All delay-convergent CCAs (subject to Theorem 1).
+DELAY_CONVERGENT = (Vegas, FastTCP, Copa, BBR, Vivace, Ledbat,
+                    JitterAware, Verus)
+
+#: Loss-based CCAs (Section 5.4 analysis).
+LOSS_BASED = (NewReno, Cubic, Allegro)
+
+#: Explicit-signal CCA (Section 6.4 conjecture).
+EXPLICIT_SIGNAL = (EcnAimd,)
+
+#: Large-oscillation delay CCA (Section 6.2 conjecture).
+LARGE_OSCILLATION = (DelayAimd,)
+
+__all__ = [
+    "Allegro", "BBR", "CCA", "Copa", "Cubic", "DELAY_CONVERGENT",
+    "DelayAimd", "EXPLICIT_SIGNAL", "EcnAimd", "FastTCP", "JitterAware",
+    "LARGE_OSCILLATION", "LOSS_BASED", "Ledbat", "NewReno", "RateCCA",
+    "Vegas", "Verus", "Vivace", "WindowCCA", "WindowTarget",
+]

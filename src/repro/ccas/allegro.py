@@ -1,0 +1,128 @@
+"""PCC Allegro: loss-threshold utility with randomized controlled trials.
+
+Utility per monitor interval (Dong et al., NSDI 2015):
+
+    u(r) = T * Sigmoid_a(0.05 - L) - T * L,   Sigmoid_a(y) = 1/(1+e^(-a*y))
+
+with T the achieved throughput and L the loss rate of the packets sent
+during the interval. The sigmoid makes Allegro insensitive to loss below
+the 5% threshold and sharply averse above it.
+
+Control: Allegro runs a four-MI randomized controlled trial — two MIs at
+r(1+eps) and two at r(1-eps) in seeded-random order — and moves
+multiplicatively only when *both* pairs agree on the better direction
+(this double-agreement rule is what filters random-loss noise; a 2-MI
+variant random-walks under symmetric 2% loss). Consecutive consistent
+decisions grow the step; inconclusive trials hold the rate and widen eps.
+
+Relevance to the paper (Section 5.4): Allegro tolerates up to 5% random
+loss at full utilization — but when two flows see *unequal* loss (2% vs
+0%), the lossy flow maps its loss rate to a much lower inferred share and
+starves (paper measured 10.3 vs 99.1 Mbit/s).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .. import units
+from .pcc_base import MonitorIntervalCCA, MonitorStats
+
+EPSILON_MIN = 0.02
+EPSILON_STEP = 0.02
+EPSILON_MAX = 0.1
+SIGMOID_ALPHA = 100.0
+MAX_STEP = 0.3
+
+
+class Allegro(MonitorIntervalCCA):
+    """PCC Allegro with the sigmoid loss-threshold utility.
+
+    Args:
+        initial_rate: starting rate, bytes/s.
+        loss_threshold: the sigmoid's center (paper default 5%).
+    """
+
+    def __init__(self, initial_rate: float = units.mbps(1.0),
+                 loss_threshold: float = 0.05, seed: int = 0) -> None:
+        super().__init__(initial_rate=initial_rate, min_mi_packets=100)
+        self.loss_threshold = loss_threshold
+        self.base_rate = initial_rate
+        self.in_slow_start = True
+        self._best_ss_utility: Optional[float] = None
+        self._plan: Deque[Tuple[float, str]] = deque()
+        self._trial: dict = {}
+        self._rng = random.Random(seed)
+        self._epsilon = EPSILON_MIN
+        self._consistent = 0
+        self._last_direction = 0
+
+    def utility(self, stats: MonitorStats) -> float:
+        """Allegro's sigmoid loss-threshold utility."""
+        throughput_mbps = units.to_mbps(stats.throughput())
+        loss = stats.loss_rate()
+        sigmoid = 1.0 / (1.0 + math.exp(
+            -SIGMOID_ALPHA * (self.loss_threshold - loss)))
+        return throughput_mbps * sigmoid - throughput_mbps * loss
+
+    # -- MI planning -------------------------------------------------------
+
+    def plan_interval(self) -> Tuple[float, str]:
+        if self._plan:
+            return self._plan.popleft()
+        return self.base_rate, "base"
+
+    def _enqueue_trial(self) -> None:
+        """Plan the 4-MI randomized controlled trial: 2 up, 2 down."""
+        up = self.base_rate * (1 + self._epsilon)
+        down = self.base_rate * (1 - self._epsilon)
+        tags = [("up1", up), ("up2", up), ("down1", down), ("down2", down)]
+        self._rng.shuffle(tags)
+        self._trial = {}
+        for tag, rate in tags:
+            self._plan.append((rate, tag))
+
+    # -- controller ---------------------------------------------------------
+
+    def on_interval_done(self, stats: MonitorStats) -> None:
+        utility = self.utility(stats)
+        if self.in_slow_start:
+            if stats.rate < self.base_rate * 0.99:
+                return  # stale MI from the feedback lag
+            if (self._best_ss_utility is None
+                    or utility > self._best_ss_utility):
+                self._best_ss_utility = utility
+                self.base_rate = stats.rate * 2.0
+            else:
+                self.in_slow_start = False
+                self.base_rate = stats.rate / 2.0
+                self._plan.clear()
+                self._enqueue_trial()
+            return
+
+        if stats.tag in ("up1", "up2", "down1", "down2"):
+            self._trial[stats.tag] = utility
+            if len(self._trial) == 4:
+                self._decide(self._trial)
+                self._trial = {}
+                self._enqueue_trial()
+
+    def _decide(self, trial: dict) -> None:
+        pair1_up = trial["up1"] > trial["down1"]
+        pair2_up = trial["up2"] > trial["down2"]
+        if pair1_up != pair2_up:
+            # Inconclusive: hold the rate and probe harder next time.
+            self._epsilon = min(EPSILON_MAX, self._epsilon + EPSILON_STEP)
+            return
+        direction = 1 if pair1_up else -1
+        if direction == self._last_direction:
+            self._consistent += 1
+        else:
+            self._consistent = 0
+        self._last_direction = direction
+        step = min(self._epsilon * (1 + self._consistent), MAX_STEP)
+        self.base_rate *= (1 + direction * step)
+        self._epsilon = EPSILON_MIN

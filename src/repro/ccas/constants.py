@@ -1,0 +1,10 @@
+"""Shared CCA defaults."""
+
+#: Default packet size, bytes (the paper's alpha example uses 1500).
+DEFAULT_MSS = 1500
+
+#: Initial congestion window, packets (RFC 6928 style).
+INITIAL_CWND = 10.0
+
+#: Slow-start threshold "infinity".
+SSTHRESH_INF = float("inf")

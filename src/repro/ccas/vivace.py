@@ -1,0 +1,136 @@
+"""PCC Vivace: online-learning rate control with a latency-aware utility.
+
+Utility per monitor interval (Dong et al., NSDI 2018):
+
+    u(r) = T^0.9 - b * T * max(0, dRTT/dt) - c * T * L
+
+with T the achieved throughput in Mbit/s, dRTT/dt the RTT gradient over
+the interval, L the loss rate, b = 900, c = 11.35.
+
+Control: after slow start (rate doubling while utility keeps rising),
+Vivace alternates paired probe intervals at r(1+eps) and r(1-eps),
+estimates the utility gradient, and takes a confidence-amplified gradient
+step bounded by a dynamic change limit (omega). Probe intervals are
+planned by tag (see :mod:`repro.ccas.pcc_base`), so the controller is
+robust to the ~1-RTT lag between sending an MI and learning its utility.
+
+Relevance to the paper (Section 5.3): on an ideal link Vivace converges
+to RTT oscillating within [Rm, 1.05 Rm] (delta_max = Rm/20, Figure 3).
+ACK aggregation that quantizes feedback to 60 ms boundaries injects
+spurious positive RTT gradients for one flow, whose utility then always
+looks better at lower rates — it starves at ~1/10th of its share.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .. import units
+from .pcc_base import MonitorIntervalCCA, MonitorStats
+
+EPSILON = 0.05          # probe amplitude
+THETA0 = 1.0            # base gradient step, Mbit/s per utility-gradient unit
+OMEGA0 = 0.05           # initial rate-change bound (fraction of rate)
+OMEGA_STEP = 0.05       # bound growth per consistent step
+OMEGA_MAX = 0.25
+
+
+class Vivace(MonitorIntervalCCA):
+    """PCC Vivace with the default latency utility.
+
+    Args:
+        initial_rate: starting rate, bytes/s.
+        b: latency-gradient penalty coefficient.
+        c: loss penalty coefficient.
+        throughput_exponent: exponent on throughput in the utility (0.9).
+    """
+
+    def __init__(self, initial_rate: float = units.mbps(1.0),
+                 b: float = 900.0, c: float = 11.35,
+                 throughput_exponent: float = 0.9) -> None:
+        super().__init__(initial_rate=initial_rate)
+        self.b = b
+        self.c = c
+        self.throughput_exponent = throughput_exponent
+
+        self.base_rate = initial_rate
+        self.in_slow_start = True
+        self._best_ss_utility: Optional[float] = None
+        self._plan: Deque[Tuple[float, str]] = deque()
+        self._probe_up_utility: Optional[float] = None
+        self._consistent_steps = 0
+        self._last_direction = 0
+        self._omega = OMEGA0
+
+    # -- utility ---------------------------------------------------------
+
+    def utility(self, stats: MonitorStats) -> float:
+        """Vivace's latency-gradient utility for one interval."""
+        throughput_mbps = units.to_mbps(stats.throughput())
+        gradient = max(0.0, stats.rtt_gradient())
+        loss = stats.loss_rate()
+        return (throughput_mbps ** self.throughput_exponent
+                - self.b * throughput_mbps * gradient
+                - self.c * throughput_mbps * loss)
+
+    # -- MI planning -------------------------------------------------------
+
+    def plan_interval(self) -> Tuple[float, str]:
+        if self._plan:
+            return self._plan.popleft()
+        return self.base_rate, "base"
+
+    def _enqueue_probe_pair(self) -> None:
+        self._plan.append((self.base_rate * (1 + EPSILON), "up"))
+        self._plan.append((self.base_rate * (1 - EPSILON), "down"))
+
+    # -- controller ---------------------------------------------------------
+
+    def on_interval_done(self, stats: MonitorStats) -> None:
+        utility = self.utility(stats)
+        if self.in_slow_start:
+            # Only compare MIs sent at the current base rate; MIs sent at
+            # stale rates during the feedback lag are ignored.
+            if stats.rate < self.base_rate * 0.99:
+                return
+            if (self._best_ss_utility is None
+                    or utility > self._best_ss_utility):
+                self._best_ss_utility = utility
+                self.base_rate = stats.rate * 2.0
+            else:
+                # Utility stopped rising: settle at the last good rate.
+                self.in_slow_start = False
+                self.base_rate = stats.rate / 2.0
+                self._plan.clear()
+                self._enqueue_probe_pair()
+            return
+
+        if stats.tag == "up":
+            self._probe_up_utility = utility
+        elif stats.tag == "down":
+            utility_up = self._probe_up_utility
+            self._probe_up_utility = None
+            if utility_up is not None:
+                self._take_gradient_step(utility_up, utility)
+                self._enqueue_probe_pair()
+
+    def _take_gradient_step(self, utility_up: float,
+                            utility_down: float) -> None:
+        base_mbps = units.to_mbps(self.base_rate)
+        denom = 2 * EPSILON * max(base_mbps, 1e-6)
+        gradient = (utility_up - utility_down) / denom
+        direction = 1 if gradient > 0 else -1
+        if direction == self._last_direction:
+            self._consistent_steps += 1
+            self._omega = min(OMEGA_MAX, self._omega + OMEGA_STEP)
+        else:
+            self._consistent_steps = 0
+            self._omega = OMEGA0
+        self._last_direction = direction
+
+        amplification = 1.0 + self._consistent_steps
+        change_mbps = THETA0 * amplification * gradient
+        bound_mbps = self._omega * max(base_mbps, 0.5)
+        change_mbps = max(-bound_mbps, min(bound_mbps, change_mbps))
+        self.base_rate = units.mbps(max(0.05, base_mbps + change_mbps))

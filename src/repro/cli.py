@@ -1,0 +1,225 @@
+"""Command-line interface: run scenarios, sweeps, and constructions.
+
+Installed as the ``repro`` console script::
+
+    repro run --rate 48 --rm 40 --cca vegas --cca vegas --duration 20
+    repro run --rate 120 --rm 59 --cca copa:poison --cca copa:jitter1
+    repro sweep --cca bbr --rates 0.4,2,10,50 --rm 50
+    repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
+    repro theorem 1|2|3
+
+Every command prints an ASCII report; nothing is written to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import units
+from .analysis.report import describe_run, rate_delay_ascii
+from .analysis.sweep import sweep_rate_delay
+from .analysis import starvation
+from .ccas import (BBR, Allegro, Copa, Cubic, DelayAimd, EcnAimd, FastTCP,
+                   JitterAware, Ledbat, NewReno, Vegas, Vivace)
+from .sim import FlowConfig, LinkConfig, run_scenario_full
+from .sim.jitter import (AckAggregationJitter, ConstantJitter,
+                         ExemptFirstJitter)
+
+CCA_FACTORIES = {
+    "vegas": Vegas,
+    "fast": FastTCP,
+    "copa": Copa,
+    "bbr": lambda: BBR(seed=1),
+    "vivace": Vivace,
+    "allegro": lambda: Allegro(seed=1),
+    "reno": NewReno,
+    "cubic": Cubic,
+    "ledbat": Ledbat,
+    "delay-aimd": DelayAimd,
+    "ecn-aimd": EcnAimd,
+    "jitter-aware": lambda: JitterAware(jitter_bound=units.ms(10)),
+}
+
+STARVE_SCENARIOS = {
+    "copa": lambda: starvation.copa_two_flow_poisoned(duration=30.0),
+    "bbr": lambda: starvation.bbr_rtt_starvation(duration=60.0),
+    "vivace": lambda: starvation.vivace_ack_aggregation(duration=60.0),
+    "allegro": lambda: starvation.allegro_asymmetric_loss(duration=90.0),
+    "fig7-reno": lambda: starvation.loss_based_delayed_acks(
+        "reno", duration=200.0),
+    "fig7-cubic": lambda: starvation.loss_based_delayed_acks(
+        "cubic", duration=200.0),
+}
+
+
+def parse_flow_spec(spec: str, rm: float) -> FlowConfig:
+    """Parse ``cca[:modifier]`` into a FlowConfig.
+
+    Modifiers: ``poison`` (min-RTT poisoning, 1 ms), ``poisonN`` (N ms),
+    ``jitterN`` (constant N ms), ``aggN`` (ACK aggregation, N ms),
+    ``delackN`` (delayed ACKs of N packets).
+    """
+    name, _, modifier = spec.partition(":")
+    if name not in CCA_FACTORIES:
+        raise SystemExit(
+            f"unknown CCA {name!r}; choose from "
+            f"{', '.join(sorted(CCA_FACTORIES))}")
+    config = dict(cca_factory=CCA_FACTORIES[name], rm=rm, label=spec)
+    if modifier:
+        if modifier.startswith("poison"):
+            amount = units.ms(float(modifier[6:] or 1.0))
+            config["ack_elements"] = [
+                lambda sim, sink, a=amount: ExemptFirstJitter(
+                    sim, sink, a, exempt_seqs=[0])]
+        elif modifier.startswith("jitter"):
+            amount = units.ms(float(modifier[6:]))
+            config["ack_elements"] = [
+                lambda sim, sink, a=amount: ConstantJitter(sim, sink, a)]
+        elif modifier.startswith("agg"):
+            amount = units.ms(float(modifier[3:]))
+            config["ack_elements"] = [
+                lambda sim, sink, a=amount: AckAggregationJitter(
+                    sim, sink, a)]
+        elif modifier.startswith("delack"):
+            config["ack_every"] = int(modifier[6:])
+            config["ack_timeout"] = units.ms(200)
+        else:
+            raise SystemExit(f"unknown flow modifier {modifier!r}")
+    return FlowConfig(**config)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    rm = units.ms(args.rm)
+    flows = [parse_flow_spec(spec, rm) for spec in args.cca]
+    buffer_bdp = args.buffer_bdp if args.buffer_bdp else None
+    link = LinkConfig(rate=units.mbps(args.rate), buffer_bdp=buffer_bdp)
+    result = run_scenario_full(link, flows, duration=args.duration,
+                               warmup=args.duration / 3)
+    print(describe_run(
+        f"{args.rate} Mbit/s, Rm = {args.rm} ms, "
+        f"{args.duration:.0f} s", result))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.cca not in CCA_FACTORIES:
+        raise SystemExit(f"unknown CCA {args.cca!r}")
+    grid = [float(x) for x in args.rates.split(",")]
+    curve = sweep_rate_delay(CCA_FACTORIES[args.cca], grid,
+                             units.ms(args.rm), label=args.cca,
+                             duration=args.duration)
+    print(rate_delay_ascii(curve))
+    print(f"delta_max = {curve.delta_max() * 1e3:.2f} ms -> starvation "
+          f"possible when jitter D > {2 * curve.delta_max() * 1e3:.2f} ms")
+    return 0
+
+
+def cmd_starve(args: argparse.Namespace) -> int:
+    runner = STARVE_SCENARIOS.get(args.scenario)
+    if runner is None:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; choose from "
+            f"{', '.join(sorted(STARVE_SCENARIOS))}")
+    result = runner()
+    print(describe_run(f"Section 5 scenario: {args.scenario}", result))
+    return 0
+
+
+def cmd_theorem(args: argparse.Namespace) -> int:
+    from .core.theorems import (construct_starvation,
+                                construct_strong_model_starvation,
+                                construct_underutilization)
+    from .model.cca import WindowTargetCCA
+
+    rm = 0.05
+    if args.number == 1:
+        con = construct_starvation(
+            lambda initial: WindowTargetCCA(alpha=6000.0, rm=rm,
+                                            pedestal=0.04,
+                                            initial=initial),
+            rm=rm, s=args.s, f=0.5, delta_max=0.002, lam=1.2e6,
+            duration=40.0, emulate_duration=10.0)
+        tputs = [units.to_mbps(x) for x in con.two_flow.throughputs()]
+        print(f"Theorem 1 (case {con.case}): C1/C2 = "
+              f"{units.to_mbps(con.pair.c1.link_rate):.1f}/"
+              f"{units.to_mbps(con.pair.c2.link_rate):.1f} Mbit/s, "
+              f"D = {con.jitter_bound * 1e3:.1f} ms")
+        print(f"two-flow throughputs {tputs[0]:.1f} / {tputs[1]:.1f} "
+              f"Mbit/s -> ratio {con.achieved_ratio:.1f} "
+              f"(target s = {args.s})")
+    elif args.number == 2:
+        con = construct_underutilization(
+            lambda: WindowTargetCCA(alpha=6000.0, rm=rm, pedestal=0.04,
+                                    initial=0.6e6),
+            small_rate=1.2e6, rm=rm, jitter_bound=0.05,
+            big_rate_factor=100.0, duration=25.0)
+        print(f"Theorem 2: utilization {con.utilization:.4f} on a "
+              f"{units.to_mbps(con.big_rate):.0f} Mbit/s link "
+              f"({con.starved_factor:.0f}x capacity wasted)")
+    elif args.number == 3:
+        con = construct_strong_model_starvation(
+            lambda: WindowTargetCCA(alpha=6000.0, rm=rm, pedestal=0.04,
+                                    initial=0.6e6),
+            base_rate=1.2e6, rm=rm, s=args.s, duration=25.0)
+        print(f"Theorem 3: D = {con.jitter_bound * 1e3:.1f} ms, "
+              f"{len(con.traces)} traces, consecutive ratio "
+              f"{con.ratio:.1f} >= s = {args.s}")
+    else:
+        raise SystemExit("theorem number must be 1, 2, or 3")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Starvation in End-to-End Congestion Control "
+                    "(SIGCOMM 2022) — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run a dumbbell scenario")
+    run_parser.add_argument("--rate", type=float, required=True,
+                            help="bottleneck rate, Mbit/s")
+    run_parser.add_argument("--rm", type=float, required=True,
+                            help="propagation RTT, ms")
+    run_parser.add_argument("--cca", action="append", required=True,
+                            help="flow spec: name[:modifier]; repeatable")
+    run_parser.add_argument("--duration", type=float, default=30.0)
+    run_parser.add_argument(
+        "--buffer-bdp", type=float, default=4.0,
+        help="droptail buffer as a multiple of the BDP (default 4; "
+             "pass 0 for an unbounded buffer)")
+    run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = sub.add_parser("sweep",
+                                  help="rate-delay curve (Figure 3)")
+    sweep_parser.add_argument("--cca", required=True)
+    sweep_parser.add_argument("--rates", default="0.4,2,10,50")
+    sweep_parser.add_argument("--rm", type=float, default=50.0)
+    sweep_parser.add_argument("--duration", type=float, default=None)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    starve_parser = sub.add_parser(
+        "starve", help="run a Section 5 starvation scenario")
+    starve_parser.add_argument("scenario",
+                               choices=sorted(STARVE_SCENARIOS))
+    starve_parser.set_defaults(func=cmd_starve)
+
+    theorem_parser = sub.add_parser(
+        "theorem", help="run a theorem construction on the fluid model")
+    theorem_parser.add_argument("number", type=int, choices=[1, 2, 3])
+    theorem_parser.add_argument("--s", type=float, default=10.0,
+                                help="target unfairness ratio")
+    theorem_parser.set_defaults(func=cmd_theorem)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

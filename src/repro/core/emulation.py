@@ -1,0 +1,177 @@
+"""Step 3 of Theorem 1: delay-trajectory emulation in a two-flow network.
+
+Given the post-convergence single-flow trajectories ``bar_d1, bar_d2``
+(delays) and ``bar_r1, bar_r2`` (rates) on ideal links of rates C1 and
+C2, the construction runs both flows on one shared queue of rate C1+C2
+and chooses per-flow non-congestive delays so each flow observes exactly
+its single-flow delay trajectory — and therefore (determinism) sends at
+exactly its single-flow rate. The shared delay follows Equation 5:
+
+    d*(t) = (C1*bar_d1(t) + C2*bar_d2(t)) / (C1+C2) - (delta_max + eps)
+
+and the per-flow jitter is ``eta_i(t) = bar_di(t) - d*(t)``, feasible
+(0 <= eta <= D) exactly when D >= 2*(delta_max + eps) and both delay
+trajectories stay within a common interval of width delta_max + eps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, EmulationInfeasibleError
+from ..model.fluid import Trajectory
+
+
+@dataclass
+class EmulationPlan:
+    """The constructed two-flow adversary.
+
+    Attributes:
+        times: shared time grid (starting at 0, the convergence origin).
+        d_star: planned shared delay d*(t) (Rm + queueing delay).
+        eta1 / eta2: per-flow non-congestive delay schedules.
+        initial_queue_delay: d*(0) - Rm, the queue the adversary pre-fills.
+        link_rate: C1 + C2.
+        c1 / c2: the component link rates.
+        rm: propagation RTT.
+        slack: delta_max + eps used in Equation 5.
+    """
+
+    times: np.ndarray
+    d_star: np.ndarray
+    eta1: np.ndarray
+    eta2: np.ndarray
+    initial_queue_delay: float
+    link_rate: float
+    c1: float
+    c2: float
+    rm: float
+    slack: float
+
+    def eta_function(self, flow: int) -> Callable[[float], float]:
+        """Continuous-time eta_i(t) by step interpolation of the grid."""
+        etas = self.eta1 if flow == 0 else self.eta2
+        times = self.times
+        dt = times[1] - times[0] if len(times) > 1 else 1.0
+
+        def eta(t: float) -> float:
+            index = int(t / dt)
+            if index < 0:
+                index = 0
+            if index >= len(etas):
+                index = len(etas) - 1
+            return float(etas[index])
+
+        return eta
+
+    @property
+    def max_eta(self) -> float:
+        return float(max(self.eta1.max(), self.eta2.max()))
+
+    @property
+    def min_eta(self) -> float:
+        return float(min(self.eta1.min(), self.eta2.min()))
+
+
+def check_feasible(plan: EmulationPlan, jitter_bound: float,
+                   tolerance: float = 1e-9) -> None:
+    """Raise :class:`EmulationInfeasibleError` unless 0 <= eta <= D."""
+    for label, etas in (("flow 1", plan.eta1), ("flow 2", plan.eta2)):
+        lowest = float(etas.min())
+        highest = float(etas.max())
+        if lowest < -tolerance:
+            index = int(etas.argmin())
+            raise EmulationInfeasibleError(
+                f"{label} needs negative non-congestive delay "
+                f"{lowest:.6g} at t={plan.times[index]:.4f}",
+                time=float(plan.times[index]), required_delay=lowest)
+        if highest > jitter_bound + tolerance:
+            index = int(etas.argmax())
+            raise EmulationInfeasibleError(
+                f"{label} needs eta={highest:.6g} > D={jitter_bound:.6g} "
+                f"at t={plan.times[index]:.4f}",
+                time=float(plan.times[index]), required_delay=highest)
+    if plan.initial_queue_delay < -tolerance:
+        raise EmulationInfeasibleError(
+            f"initial queue delay {plan.initial_queue_delay:.6g} < 0 "
+            "(Case 1 of the proof requires d*(0) >= Rm)")
+
+
+def build_emulation_plan(traj1: Trajectory, traj2: Trajectory,
+                         t_conv1: float, t_conv2: float,
+                         delta_max: float, epsilon: float,
+                         jitter_bound: float) -> EmulationPlan:
+    """Construct the Equation 5 adversary from two single-flow runs.
+
+    Args:
+        traj1 / traj2: ideal-path trajectories on links C1 and C2.
+        t_conv1 / t_conv2: the flows' convergence times T1, T2.
+        delta_max: the CCA's equilibrium-oscillation bound.
+        epsilon: the pigeonhole bucket width (the proof's eps,
+            typically D/2 - delta_max).
+        jitter_bound: the network model's D; must exceed
+            2*(delta_max + epsilon) up to rounding.
+
+    Returns a feasible :class:`EmulationPlan` (raises
+    :class:`EmulationInfeasibleError` otherwise).
+    """
+    if abs(traj1.dt - traj2.dt) > 1e-12:
+        raise ConfigurationError("trajectories must share the same dt")
+    if abs(traj1.rm - traj2.rm) > 1e-12:
+        raise ConfigurationError("trajectories must share the same Rm")
+    bar1 = traj1.shifted(t_conv1)
+    bar2 = traj2.shifted(t_conv2)
+    n = min(len(bar1.times), len(bar2.times))
+    if n < 2:
+        raise ConfigurationError("post-convergence overlap too short")
+    times = bar1.times[:n]
+    d1 = bar1.delays[:n]
+    d2 = bar2.delays[:n]
+    c1 = traj1.link_rate
+    c2 = traj2.link_rate
+    slack = delta_max + epsilon
+    weighted = (c1 * d1 + c2 * d2) / (c1 + c2)
+    d_star = weighted - slack
+    eta1 = d1 - d_star
+    eta2 = d2 - d_star
+    plan = EmulationPlan(times=times, d_star=d_star, eta1=eta1, eta2=eta2,
+                         initial_queue_delay=float(d_star[0] - traj1.rm),
+                         link_rate=c1 + c2, c1=c1, c2=c2, rm=traj1.rm,
+                         slack=slack)
+    check_feasible(plan, jitter_bound)
+    return plan
+
+
+def verify_shared_delay(plan: EmulationPlan, traj1: Trajectory,
+                        traj2: Trajectory, t_conv1: float, t_conv2: float,
+                        tolerance: float = 1e-6) -> float:
+    """Check Equation 3/5 consistency by integrating the shared queue.
+
+    Integrates ``d*'(t) = (r1 + r2 - (C1+C2)) / (C1+C2)`` from the plan's
+    initial condition using the recorded single-flow rates, and returns
+    the maximum absolute deviation from the plan's closed-form d*(t).
+    This is the proof's induction argument, done numerically.
+    """
+    bar1 = traj1.shifted(t_conv1)
+    bar2 = traj2.shifted(t_conv2)
+    n = len(plan.times)
+    r_total = bar1.rates[:n] + bar2.rates[:n]
+    dt = float(plan.times[1] - plan.times[0])
+    c_total = plan.link_rate
+    d = float(plan.d_star[0])
+    worst = 0.0
+    for i in range(n):
+        worst = max(worst, abs(d - float(plan.d_star[i])))
+        d += (float(r_total[i]) - c_total) / c_total * dt
+        if d < plan.rm:
+            d = plan.rm
+    if worst > tolerance:
+        raise EmulationInfeasibleError(
+            f"integrated d* deviates from Equation 5 by {worst:.3g} "
+            f"(> {tolerance:.3g}); the single-flow queues were not "
+            "always non-empty (Case 1 assumption violated)")
+    return worst

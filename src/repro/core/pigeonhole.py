@@ -1,0 +1,94 @@
+"""Step 1 of Theorem 1: the pigeonhole pair of link rates (Figure 4).
+
+For a delay-convergent CCA, all converged delays over rates above lambda
+fall in ``[Rm, d_max_bound]``. Only finitely many disjoint intervals of
+size epsilon fit there, but the geometric sequence of rates
+``lambda * (s/f)^i`` is infinite — so some pair of rates at least a
+factor ``s/f`` apart must land their converged d_max values in the same
+epsilon-interval. That pair (C1, C2) is the seed of the starvation
+construction: similar delays, wildly different rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConvergenceError
+from .convergence import ConvergedRange
+
+
+@dataclass
+class PigeonholePair:
+    """The found pair of link rates and their delay ranges."""
+
+    c1: ConvergedRange
+    c2: ConvergedRange
+    epsilon: float
+    bucket_index: int
+    rates_probed: int
+
+    @property
+    def rate_ratio(self) -> float:
+        return self.c2.link_rate / self.c1.link_rate
+
+    def common_interval(self) -> Tuple[float, float]:
+        """The smallest interval containing both delay ranges."""
+        lo = min(self.c1.d_min, self.c2.d_min)
+        hi = max(self.c1.d_max, self.c2.d_max)
+        return (lo, hi)
+
+    def common_width(self) -> float:
+        lo, hi = self.common_interval()
+        return hi - lo
+
+
+def find_pigeonhole_pair(measure: Callable[[float], ConvergedRange],
+                         lam: float, s: float, f: float,
+                         epsilon: float, rm: float,
+                         d_max_bound: float,
+                         max_rates: int = 64) -> PigeonholePair:
+    """Find C1, C2 = lambda*(s/f)^i, lambda*(s/f)^j with close d_max.
+
+    Args:
+        measure: maps a link rate to its measured :class:`ConvergedRange`
+            (typically :func:`repro.core.convergence.measure_cca_range`
+            partially applied with the CCA factory).
+        lam: the rate floor above which Definition 1's bounds hold.
+        s: target unfairness ratio.
+        f: the CCA's efficiency constant.
+        epsilon: bucket width for the pigeonhole argument.
+        rm: propagation RTT (lower edge of the delay space).
+        d_max_bound: upper edge of the delay space.
+        max_rates: give up after probing this many rates (the theorem
+            guarantees success for a truly delay-convergent CCA; a finite
+            probe budget guards against CCAs that are not).
+
+    Returns the first pair of probed rates whose d_max values land in the
+    same epsilon bucket.
+    """
+    if s < 1 or not 0 < f <= 1:
+        raise ValueError("need s >= 1 and 0 < f <= 1")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be > 0")
+    growth = max(s / f, 1.0 + 1e-9)
+    buckets: Dict[int, ConvergedRange] = {}
+    n_buckets = max(1, math.ceil((d_max_bound - rm) / epsilon))
+    for i in range(max_rates):
+        rate = lam * growth ** i
+        measured = measure(rate)
+        if measured.d_max > d_max_bound + 1e-12:
+            raise ConvergenceError(
+                f"d_max({rate:.3g}) = {measured.d_max:.6f} exceeds the "
+                f"claimed bound {d_max_bound:.6f}; the CCA is not "
+                f"delay-convergent with these parameters")
+        index = min(int((measured.d_max - rm) / epsilon), n_buckets - 1)
+        if index in buckets:
+            return PigeonholePair(c1=buckets[index], c2=measured,
+                                  epsilon=epsilon, bucket_index=index,
+                                  rates_probed=i + 1)
+        buckets[index] = measured
+    raise ConvergenceError(
+        f"no pigeonhole pair found in {max_rates} rates; "
+        f"increase max_rates or epsilon")

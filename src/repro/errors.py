@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, topology, or CCA was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internally inconsistent state."""
+
+
+class EmulationInfeasibleError(ReproError):
+    """The Theorem 1 delay-emulation constraints cannot be satisfied.
+
+    Raised when the required non-congestive delay for some flow falls
+    outside ``[0, D]`` at some time, i.e. the adversary cannot reproduce
+    the single-flow delay trajectories in the two-flow scenario.
+    """
+
+    def __init__(self, message: str, time: float | None = None,
+                 required_delay: float | None = None) -> None:
+        super().__init__(message)
+        self.time = time
+        self.required_delay = required_delay
+
+
+class ConvergenceError(ReproError):
+    """A trajectory did not satisfy the delay-convergence definition."""

@@ -1,0 +1,102 @@
+"""Non-congestive delay adversaries (jitter schedules) for the fluid model.
+
+The Section 3 network model lets the adversary pick any eta(t) in [0, D]
+per flow, non-deterministically but without randomness. These schedules
+are the ones the paper's analysis and experiments use, plus the
+trace-playback schedule the Theorem 1 construction emits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def constant(eta: float) -> Callable[[float], float]:
+    """eta(t) = eta: persistent non-congestive delay (mean != 0, the
+    reason averaging filters fail — Section 3)."""
+    if eta < 0:
+        raise ConfigurationError("eta must be >= 0")
+    return lambda t: eta
+
+
+def zero() -> Callable[[float], float]:
+    """The ideal path: no non-congestive delay."""
+    return lambda t: 0.0
+
+
+def square_wave(high: float, period: float, duty: float = 0.5,
+                phase: float = 0.0) -> Callable[[float], float]:
+    """On/off jitter (scheduler bursts, Wi-Fi contention)."""
+    if high < 0 or period <= 0 or not 0 <= duty <= 1:
+        raise ConfigurationError("invalid square wave parameters")
+
+    def eta(t: float) -> float:
+        position = ((t + phase) % period) / period
+        return high if position < duty else 0.0
+
+    return eta
+
+
+def sawtooth(high: float, period: float) -> Callable[[float], float]:
+    """Linearly growing then resetting delay (token-bucket refill shape)."""
+    if high < 0 or period <= 0:
+        raise ConfigurationError("invalid sawtooth parameters")
+    return lambda t: high * ((t % period) / period)
+
+
+def step_at(time: float, eta: float) -> Callable[[float], float]:
+    """Zero before ``time``, then constant eta (path change mid-flow)."""
+    if eta < 0:
+        raise ConfigurationError("eta must be >= 0")
+    return lambda t: eta if t >= time else 0.0
+
+
+def from_table(times: np.ndarray, values: np.ndarray,
+               bound: float = math.inf) -> Callable[[float], float]:
+    """Step-interpolated playback of a sampled schedule (clamped >= 0).
+
+    This is how Theorem 1's :class:`~repro.core.emulation.EmulationPlan`
+    schedules are replayed in the fluid or packet simulators.
+    """
+    if len(times) != len(values):
+        raise ConfigurationError("times and values must have equal length")
+    if len(times) < 1:
+        raise ConfigurationError("schedule must not be empty")
+    dt = float(times[1] - times[0]) if len(times) > 1 else 1.0
+    table = np.clip(np.asarray(values, dtype=float), 0.0, bound)
+
+    def eta(t: float) -> float:
+        index = int(t / dt)
+        if index < 0:
+            index = 0
+        if index >= len(table):
+            index = len(table) - 1
+        return float(table[index])
+
+    return eta
+
+
+def pick_worst_phase(make_eta: Callable[[float], Callable[[float], float]],
+                     phases: Sequence[float],
+                     evaluate: Callable[[Callable[[float], float]], float]
+                     ) -> Tuple[float, float]:
+    """Grid-search a schedule's phase for the worst objective value.
+
+    A tiny helper for adversarial sweeps: ``make_eta(phase)`` builds a
+    schedule, ``evaluate(eta)`` runs an experiment and returns a score to
+    *minimize* (e.g. the victim flow's throughput). Returns
+    ``(best_phase, best_score)``.
+    """
+    best_phase = None
+    best_score = math.inf
+    for phase in phases:
+        score = evaluate(make_eta(phase))
+        if score < best_score:
+            best_score = score
+            best_phase = phase
+    return best_phase, best_score

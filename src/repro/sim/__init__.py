@@ -1,0 +1,19 @@
+"""Packet-level discrete-event network simulator (Mahimahi substitute).
+
+Implements the paper's Section 3 network model: a single shared FIFO
+bottleneck drained at a constant rate, per-flow propagation delay, and
+per-flow bounded non-congestive jitter elements that never reorder.
+"""
+
+from .engine import Event, Simulator
+from .host import Receiver, Sender
+from .network import FlowConfig, LinkConfig, Scenario, build_dumbbell
+from .packet import Ack, AckInfo, Packet
+from .queue import BottleneckQueue
+from .runner import FlowStats, RunResult, run_scenario, run_scenario_full
+
+__all__ = [
+    "Ack", "AckInfo", "BottleneckQueue", "Event", "FlowConfig", "FlowStats",
+    "LinkConfig", "Packet", "Receiver", "RunResult", "Scenario", "Sender",
+    "Simulator", "build_dumbbell", "run_scenario", "run_scenario_full",
+]

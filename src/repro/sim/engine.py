@@ -1,0 +1,129 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop built on :mod:`heapq`. Components schedule
+callbacks at absolute times; the :class:`Simulator` executes them in
+time order (ties broken by insertion order, so the simulation is fully
+deterministic).
+
+The engine is deliberately tiny: everything network-specific lives in the
+other modules of :mod:`repro.sim`, which compose by passing each other
+packets through ``receive(packet, now)`` calls and scheduling future work
+through the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Simulator.schedule`.
+
+    Events may be cancelled; cancelled events stay in the heap but are
+    skipped when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event's callback from running."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {state}, cb={self.callback!r})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator clock and scheduler."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``.
+
+        ``time`` must not be in the past (it may equal ``now``).
+        """
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}")
+        event = Event(max(time, self.now), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after a relative ``delay`` >= 0."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next pending event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Execute the next pending event. Returns False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float) -> None:
+        """Run events in order until the clock reaches ``until``.
+
+        The clock is advanced to exactly ``until`` at the end even if the
+        event queue drains earlier, so periodic samplers see a full window.
+        """
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                break
+            self.step()
+        if self.now < until:
+            self.now = until
+
+    def run_all(self, max_events: int = 50_000_000) -> None:
+        """Run until the event queue is empty (bounded by ``max_events``)."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a runaway loop")

@@ -1,0 +1,374 @@
+"""Endpoint hosts: a window/pacing-controlled sender and an ACKing receiver.
+
+The sender implements a small reliable transport that is deliberately
+simpler than TCP but preserves everything the paper's CCAs need:
+
+* per-packet sequence numbers and per-packet (or aggregated) ACKs,
+* RTT samples from echoed send timestamps,
+* delivery-rate samples in the style of Linux TCP's rate sampler (BBR),
+* gap-based loss detection (the simulated network never reorders, so a
+  sequence gap of ``reorder_threshold`` packets means a drop),
+* a retransmission-timeout backstop,
+* retransmission of lost packets (lost packets are resent before new
+  data so that goodput equals acknowledged unique bytes).
+
+The receiver supports immediate ACKs, delayed ACKs (ACK every ``every``-th
+packet or after ``timeout``), which is the mechanism behind the paper's
+Figure 7 experiment.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import ConfigurationError
+from .engine import Event, Simulator
+from .packet import Ack, AckInfo, Packet
+
+ACK_SIZE = 40
+
+
+class Sender:
+    """A bulk-transfer sender driven by a congestion control algorithm.
+
+    Args:
+        sim: simulation engine.
+        flow_id: unique flow identifier.
+        cca: the congestion controller (see :class:`repro.ccas.base.CCA`).
+        mss: packet payload size in bytes.
+        start_time: when the flow starts sending.
+        reorder_threshold: sequence gap (in packets) treated as loss.
+        min_rto / rto_multiplier: retransmission-timeout backstop.
+    """
+
+    def __init__(self, sim: Simulator, flow_id: int, cca,
+                 mss: int = 1500, start_time: float = 0.0,
+                 reorder_threshold: int = 3,
+                 min_rto: float = 0.2, rto_multiplier: float = 3.0,
+                 burst_size: int = 1) -> None:
+        if mss <= 0:
+            raise ConfigurationError(f"mss must be > 0, got {mss}")
+        if burst_size < 1:
+            raise ConfigurationError(
+                f"burst_size must be >= 1, got {burst_size}")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.cca = cca
+        self.mss = mss
+        self.start_time = start_time
+        self.reorder_threshold = reorder_threshold
+        self.min_rto = min_rto
+        self.rto_multiplier = rto_multiplier
+        # GSO/offload-style batching (Section 5.4 discussion): hold
+        # window permission until a full burst can be released at once.
+        self.burst_size = burst_size
+
+        self.path: Optional[object] = None  # first element of forward path
+
+        self.next_seq = 0
+        self.highest_acked = -1
+        # seq -> (size, last_sent_time)
+        self._unacked: Dict[int, Tuple[int, float]] = {}
+        # Min-heap of unacked seqs (lazy deletion) for O(log n) gap checks.
+        self._unacked_heap: List[int] = []
+        self._lost: List[int] = []      # seqs awaiting retransmission
+        self._lost_set: Set[int] = set()
+        self.inflight_bytes = 0
+
+        self.delivered_bytes = 0.0      # cumulatively ACKed unique bytes
+        self.delivered_time = 0.0
+        self.sent_packets = 0
+        self.retransmits = 0
+        self.losses_detected = 0
+        self.timeouts = 0
+
+        self.min_rtt = math.inf
+        self.srtt: Optional[float] = None
+        self.latest_rtt: Optional[float] = None
+
+        self._pacing_timer: Optional[Event] = None
+        self._rto_timer: Optional[Event] = None
+        self._next_send_time = 0.0
+        self._started = False
+
+        self.on_ack_hooks: List[Callable[["Sender", AckInfo], None]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_path(self, path_entry: object) -> None:
+        """Set the first forward-path element packets are handed to."""
+        self.path = path_entry
+
+    def start(self) -> None:
+        """Schedule the flow start (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule_at(self.start_time, self._begin)
+
+    def _begin(self) -> None:
+        self.cca.attach(self)
+        self._next_send_time = self.sim.now
+        self._try_send()
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def _current_rto(self) -> float:
+        if self.srtt is None:
+            return max(self.min_rto, 1.0)
+        return max(self.min_rto, self.rto_multiplier * self.srtt)
+
+    def _arm_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+        self._rto_timer = self.sim.schedule(self._current_rto(),
+                                            self._on_rto)
+
+    def _window_allows(self) -> bool:
+        return self.inflight_bytes + self.mss <= self.cca.cwnd_bytes
+
+    def _burst_gate_open(self) -> bool:
+        """With burst_size > 1, wait until a full burst fits the window
+        (an idle connection may always send what it has)."""
+        if self.burst_size <= 1:
+            return True
+        if self.inflight_bytes == 0:
+            return True
+        headroom = self.cca.cwnd_bytes - self.inflight_bytes
+        return headroom >= self.burst_size * self.mss
+
+    def _try_send(self) -> None:
+        """Send as many packets as the window and pacer allow."""
+        if self.path is None:
+            raise ConfigurationError("sender has no forward path attached")
+        if not self._burst_gate_open():
+            return
+        while self._window_allows():
+            rate = self.cca.pacing_rate
+            if rate is not None:
+                if rate <= 0:
+                    return  # paced at zero: wait for the CCA to raise it
+                if self.sim.now + 1e-15 < self._next_send_time:
+                    self._arm_pacing_timer()
+                    return
+            self._send_one()
+            if rate is not None:
+                base = max(self._next_send_time, self.sim.now)
+                self._next_send_time = base + self.mss / rate
+
+    def _arm_pacing_timer(self) -> None:
+        if self._pacing_timer is not None:
+            self._pacing_timer.cancel()
+        self._pacing_timer = self.sim.schedule_at(self._next_send_time,
+                                                  self._on_pacing_timer)
+
+    def _on_pacing_timer(self) -> None:
+        self._pacing_timer = None
+        self._try_send()
+
+    def kick(self) -> None:
+        """Re-evaluate sending; CCAs call this after timer-driven changes."""
+        if self._started and self.sim.now >= self.start_time:
+            self._try_send()
+
+    def _send_one(self) -> None:
+        if self._lost:
+            seq = self._lost.pop(0)
+            self._lost_set.discard(seq)
+            is_retransmit = True
+            self.retransmits += 1
+        else:
+            seq = self.next_seq
+            self.next_seq += 1
+            is_retransmit = False
+        packet = Packet(self.flow_id, seq, self.mss, self.sim.now,
+                        delivered_at_send=self.delivered_bytes,
+                        delivered_time_at_send=self.delivered_time,
+                        is_retransmit=is_retransmit)
+        self._unacked[seq] = (self.mss, self.sim.now)
+        heapq.heappush(self._unacked_heap, seq)
+        self.inflight_bytes += self.mss
+        self.sent_packets += 1
+        self.cca.on_send(self.sim.now, seq, self.mss, is_retransmit)
+        self.path.receive(packet, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Receiving ACKs
+    # ------------------------------------------------------------------
+
+    def receive(self, ack: Ack, now: float) -> None:
+        """Entry point for the reverse path (duck-typed like a sink)."""
+        self.receive_ack(ack, now)
+
+    def receive_ack(self, ack: Ack, now: float) -> None:
+        rtt = now - ack.rtt_sample_sent_time
+        self.latest_rtt = rtt
+        if rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+        else:
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+
+        newly_acked = 0
+        for seq in ack.acked_seqs:
+            entry = self._unacked.pop(seq, None)
+            if entry is not None:
+                newly_acked += entry[0]
+                self.inflight_bytes -= entry[0]
+            elif seq in self._lost_set:
+                # ACK raced a queued retransmission: cancel it.
+                self._lost_set.discard(seq)
+                self._lost.remove(seq)
+            if seq > self.highest_acked:
+                self.highest_acked = seq
+
+        delivery_rate = None
+        interval = now - ack.delivered_time_at_send
+        if interval > 1e-12 and ack.delivered_time_at_send > 0:
+            delivery_rate = ((self.delivered_bytes + newly_acked
+                              - ack.delivered_at_send) / interval)
+        self.delivered_bytes += newly_acked
+        self.delivered_time = now
+
+        self._detect_losses(now, ack.rtt_sample_sent_time)
+
+        info = AckInfo(rtt=rtt, acked_bytes=newly_acked,
+                       delivery_rate=delivery_rate,
+                       inflight_bytes=self.inflight_bytes,
+                       min_rtt=self.min_rtt, now=now,
+                       delivered_bytes=self.delivered_bytes,
+                       delivered_at_send=ack.delivered_at_send,
+                       acked_seqs=ack.acked_seqs,
+                       ecn_marked=ack.ecn_marked_count)
+        self.cca.on_ack(info)
+        for hook in self.on_ack_hooks:
+            hook(self, info)
+        self._arm_rto()
+        self._try_send()
+
+    def _detect_losses(self, now: float, ack_sent_time: float) -> None:
+        """Declare unacked packets below the dup-ACK horizon lost.
+
+        A packet is lost only if it is (a) more than ``reorder_threshold``
+        sequence numbers below the highest ACK and (b) was sent no later
+        than the packet whose ACK we are processing — otherwise a fresh
+        retransmission would be re-declared lost before it could arrive.
+        """
+        horizon = self.highest_acked - self.reorder_threshold
+        if horizon < 0:
+            return
+        heap = self._unacked_heap
+        deferred = []
+        while heap and heap[0] <= horizon:
+            seq = heapq.heappop(heap)
+            entry = self._unacked.get(seq)
+            if entry is None:
+                continue  # stale heap entry (already ACKed)
+            size, sent = entry
+            if sent > ack_sent_time:
+                # A fresh retransmission: not evidence of loss yet.
+                deferred.append(seq)
+                continue
+            del self._unacked[seq]
+            self.inflight_bytes -= size
+            self._lost.append(seq)
+            self._lost_set.add(seq)
+            self.losses_detected += 1
+            self.cca.on_loss(now, seq, size)
+        for seq in deferred:
+            heapq.heappush(heap, seq)
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if not self._unacked:
+            self._arm_rto()
+            return
+        self.timeouts += 1
+        for seq in sorted(self._unacked):
+            size, _ = self._unacked.pop(seq)
+            self.inflight_bytes -= size
+            if seq not in self._lost_set:
+                self._lost.append(seq)
+                self._lost_set.add(seq)
+        self.cca.on_timeout(self.sim.now)
+        self._arm_rto()
+        self._try_send()
+
+
+class Receiver:
+    """Receives data packets and emits (possibly delayed) ACKs.
+
+    Args:
+        sim: simulation engine.
+        flow_id: flow this receiver belongs to.
+        ack_every: emit one ACK per ``ack_every`` received packets.
+        ack_timeout: flush pending ACKs after this long (None = only flush
+            by count). Standard delayed-ACK behavior uses e.g. 40 ms.
+    """
+
+    def __init__(self, sim: Simulator, flow_id: int,
+                 ack_every: int = 1,
+                 ack_timeout: Optional[float] = None) -> None:
+        if ack_every < 1:
+            raise ConfigurationError(f"ack_every must be >= 1, got {ack_every}")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.ack_every = ack_every
+        self.ack_timeout = ack_timeout
+        self.ack_path: Optional[object] = None
+
+        self.received_packets = 0
+        self.received_bytes = 0.0       # unique payload bytes
+        self._seen: Set[int] = set()
+        self._pending: List[Packet] = []
+        self._flush_timer: Optional[Event] = None
+
+    def attach_ack_path(self, ack_path_entry: object) -> None:
+        """Set the first reverse-path element ACKs are handed to."""
+        self.ack_path = ack_path_entry
+
+    def receive(self, packet: Packet, now: float) -> None:
+        self.received_packets += 1
+        if packet.seq not in self._seen:
+            self._seen.add(packet.seq)
+            self.received_bytes += packet.size
+        self._pending.append(packet)
+        if len(self._pending) >= self.ack_every:
+            self._flush(now)
+        elif self.ack_timeout is not None and self._flush_timer is None:
+            self._flush_timer = self.sim.schedule(self.ack_timeout,
+                                                  self._on_flush_timer)
+
+    def _on_flush_timer(self) -> None:
+        self._flush_timer = None
+        if self._pending:
+            self._flush(self.sim.now)
+
+    def _flush(self, now: float) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        if not self._pending or self.ack_path is None:
+            self._pending = []
+            return
+        newest = self._pending[-1]
+        ack = Ack(flow_id=self.flow_id,
+                  acked_seqs=tuple(p.seq for p in self._pending),
+                  acked_bytes=sum(p.size for p in self._pending),
+                  rtt_sample_seq=newest.seq,
+                  rtt_sample_sent_time=newest.sent_time,
+                  delivered_at_send=newest.delivered_at_send,
+                  delivered_time_at_send=newest.delivered_time_at_send,
+                  recv_time=now,
+                  ecn_marked_count=sum(
+                      1 for p in self._pending if p.ecn_marked))
+        self._pending = []
+        self.ack_path.receive(ack, now)

@@ -1,0 +1,97 @@
+"""Loss elements: drop packets independently of congestion.
+
+Used by the Section 5.4 PCC Allegro experiment, where one flow sees a 2%
+random loss rate while the other sees none.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from .engine import Simulator
+from .packet import Packet
+
+
+class RandomLossElement:
+    """Drops each packet independently with probability ``loss_prob``.
+
+    A seeded :class:`random.Random` keeps runs reproducible.
+    """
+
+    def __init__(self, sim: Simulator, sink: object, loss_prob: float,
+                 seed: int = 0) -> None:
+        if not 0 <= loss_prob < 1:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1), got {loss_prob}")
+        self.sim = sim
+        self.sink = sink
+        self.loss_prob = loss_prob
+        self._rng = random.Random(seed)
+        self.dropped = 0
+        self.forwarded = 0
+
+    def receive(self, packet: Packet, now: float) -> None:
+        if self.loss_prob > 0 and self._rng.random() < self.loss_prob:
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.sink.receive(packet, now)
+
+
+class PeriodicLossElement:
+    """Deterministically drops every ``period``-th packet (1-indexed).
+
+    A non-random stand-in for a fixed loss rate of ``1/period``; useful
+    when an experiment must be exactly reproducible packet-for-packet.
+    """
+
+    def __init__(self, sim: Simulator, sink: object, period: int,
+                 offset: int = 0) -> None:
+        if period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {period}")
+        self.sim = sim
+        self.sink = sink
+        self.period = period
+        self._count = offset
+        self.dropped = 0
+        self.forwarded = 0
+
+    def receive(self, packet: Packet, now: float) -> None:
+        self._count += 1
+        if self._count % self.period == 0:
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.sink.receive(packet, now)
+
+
+class TargetedLossElement:
+    """Drops an explicit set of packet sequence numbers.
+
+    Lets adversarial constructions (and tests) kill specific packets.
+    """
+
+    def __init__(self, sim: Simulator, sink: object,
+                 drop_seqs: Sequence[int],
+                 drop_retransmits: bool = False) -> None:
+        self.sim = sim
+        self.sink = sink
+        self.drop_seqs = set(drop_seqs)
+        self.drop_retransmits = drop_retransmits
+        self.dropped = 0
+        self.forwarded = 0
+
+    def receive(self, packet: Packet, now: float) -> None:
+        should_drop = packet.seq in self.drop_seqs
+        if should_drop and packet.is_retransmit and not self.drop_retransmits:
+            should_drop = False
+        if should_drop and not self.drop_retransmits:
+            # Drop the original transmission only once so retransmits pass.
+            self.drop_seqs.discard(packet.seq)
+        if should_drop:
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.sink.receive(packet, now)

@@ -1,0 +1,154 @@
+"""Scenario description and dumbbell topology assembly.
+
+A scenario is a bottleneck link plus a list of flows. Each flow has its
+own CCA, propagation delay, optional jitter elements on the data and ACK
+paths, optional loss element, and receiver ACK policy — exactly the
+degrees of freedom the paper's Section 3 model and Section 5 experiments
+exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .engine import Simulator
+from .host import Receiver, Sender
+from .path import DelayElement, ElementFactory, chain
+from .queue import BottleneckQueue
+from .recorder import FlowRecorder, QueueRecorder
+
+
+@dataclass
+class LinkConfig:
+    """The shared bottleneck.
+
+    Args:
+        rate: drain rate in bytes/s.
+        buffer_bytes: droptail capacity (None = effectively unbounded).
+        buffer_bdp: alternative capacity spec as a multiple of the BDP of
+            the *first* flow (rate x rm); mutually exclusive with
+            buffer_bytes.
+    """
+
+    rate: float
+    buffer_bytes: Optional[float] = None
+    buffer_bdp: Optional[float] = None
+    #: DCTCP-style marking threshold (bytes of backlog); None = no ECN.
+    ecn_threshold_bytes: Optional[float] = None
+
+    def resolve_buffer(self, rm: float) -> Optional[float]:
+        if self.buffer_bytes is not None and self.buffer_bdp is not None:
+            raise ConfigurationError(
+                "specify buffer_bytes or buffer_bdp, not both")
+        if self.buffer_bdp is not None:
+            return self.buffer_bdp * self.rate * rm
+        return self.buffer_bytes
+
+
+@dataclass
+class FlowConfig:
+    """One flow in the scenario.
+
+    Args:
+        cca_factory: zero-argument callable producing a fresh CCA.
+        rm: minimum propagation RTT for this flow, seconds.
+        start_time: when the flow starts.
+        mss: packet size in bytes.
+        data_elements: element factories inserted between the sender and
+            the bottleneck (e.g. loss elements).
+        ack_elements: element factories on the ACK return path (e.g.
+            jitter / ACK aggregation).
+        ack_every / ack_timeout: receiver delayed-ACK policy.
+        label: display name for reports.
+    """
+
+    cca_factory: Callable[[], object]
+    rm: float
+    start_time: float = 0.0
+    mss: int = 1500
+    data_elements: Sequence[ElementFactory] = field(default_factory=tuple)
+    ack_elements: Sequence[ElementFactory] = field(default_factory=tuple)
+    ack_every: int = 1
+    ack_timeout: Optional[float] = None
+    #: GSO-style batching: release packets in bursts of this many.
+    burst_size: int = 1
+    label: str = ""
+
+
+class BuiltFlow:
+    """The live objects for one flow of a built scenario."""
+
+    def __init__(self, flow_id: int, config: FlowConfig, sender: Sender,
+                 receiver: Receiver, recorder: FlowRecorder) -> None:
+        self.flow_id = flow_id
+        self.config = config
+        self.sender = sender
+        self.receiver = receiver
+        self.recorder = recorder
+
+
+class Scenario:
+    """A built dumbbell scenario ready to run."""
+
+    def __init__(self, sim: Simulator, queue: BottleneckQueue,
+                 flows: List[BuiltFlow],
+                 queue_recorder: QueueRecorder) -> None:
+        self.sim = sim
+        self.queue = queue
+        self.flows = flows
+        self.queue_recorder = queue_recorder
+
+    def run(self, duration: float) -> None:
+        for flow in self.flows:
+            flow.sender.start()
+        self.sim.run(duration)
+
+
+def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
+                   sample_interval: float = 0.05) -> Scenario:
+    """Assemble the Section 3 topology: shared FIFO + per-flow paths.
+
+    Forward path per flow:
+        sender -> data_elements -> shared bottleneck -> delay(rm) -> receiver
+    Reverse path per flow:
+        receiver -> ack_elements -> sender
+
+    The full propagation RTT rm is applied on the forward path after the
+    bottleneck; ACKs return instantly unless ack_elements add delay. The
+    measured RTT is therefore queueing + transmission + rm + jitter,
+    matching the paper's decomposition.
+    """
+    if not flows:
+        raise ConfigurationError("scenario needs at least one flow")
+    sim = Simulator()
+    first_rm = flows[0].rm
+    queue = BottleneckQueue(sim, link.rate,
+                            buffer_bytes=link.resolve_buffer(first_rm),
+                            ecn_threshold_bytes=link.ecn_threshold_bytes)
+    built: List[BuiltFlow] = []
+    for flow_id, config in enumerate(flows):
+        if config.rm <= 0:
+            raise ConfigurationError(f"rm must be > 0, got {config.rm}")
+        cca = config.cca_factory()
+        sender = Sender(sim, flow_id, cca, mss=config.mss,
+                        start_time=config.start_time,
+                        burst_size=config.burst_size)
+        receiver = Receiver(sim, flow_id, ack_every=config.ack_every,
+                            ack_timeout=config.ack_timeout)
+        # Reverse path: receiver -> ack elements -> sender.
+        ack_entry = chain(sim, config.ack_elements, sender)
+        receiver.attach_ack_path(ack_entry)
+        # Forward path after the bottleneck: delay(rm) -> receiver.
+        delay = DelayElement(sim, receiver, config.rm)
+        queue.register_sink(flow_id, delay)
+        # Forward path before the bottleneck: data elements -> queue.
+        data_entry = chain(sim, config.data_elements, queue)
+        sender.attach_path(data_entry)
+        recorder = FlowRecorder(sim, sender,
+                                sample_interval=sample_interval)
+        built.append(BuiltFlow(flow_id, config, sender, receiver, recorder))
+    queue_recorder = QueueRecorder(sim, queue,
+                                   sample_interval=sample_interval)
+    return Scenario(sim, queue, built, queue_recorder)

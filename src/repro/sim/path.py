@@ -1,0 +1,73 @@
+"""Path assembly helpers: fixed delay elements and element chaining.
+
+A flow's forward path is ``sender -> [elements...] -> bottleneck ->
+delay(Rm) -> receiver`` and its reverse path is ``receiver -> [elements...]
+-> sender``. Elements are duck-typed sinks exposing
+``receive(packet, now)``; :func:`chain` wires a list of element factories
+into such a pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .engine import Simulator
+
+
+class DelayElement:
+    """Delays every packet by a fixed amount (propagation delay)."""
+
+    def __init__(self, sim: Simulator, sink: object, delay: float) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self.sim = sim
+        self.sink = sink
+        self.delay = delay
+        self.forwarded = 0
+
+    def receive(self, packet: object, now: float) -> None:
+        self.forwarded += 1
+        if self.delay == 0:
+            self.sink.receive(packet, now)
+        else:
+            self.sim.schedule(self.delay, self.sink.receive, packet,
+                              self.sim.now + self.delay)
+
+
+class TapElement:
+    """Calls a hook for every packet, then forwards it unchanged.
+
+    Useful for instrumentation (e.g. recording per-packet arrival times)
+    without perturbing the simulation.
+    """
+
+    def __init__(self, sim: Simulator, sink: object,
+                 hook: Callable[[object, float], None]) -> None:
+        self.sim = sim
+        self.sink = sink
+        self.hook = hook
+
+    def receive(self, packet: object, now: float) -> None:
+        self.hook(packet, now)
+        self.sink.receive(packet, now)
+
+
+#: An element factory takes ``(sim, sink)`` and returns an element whose
+#: ``receive`` feeds ``sink`` (possibly after delay/drops).
+ElementFactory = Callable[[Simulator, object], object]
+
+
+def chain(sim: Simulator, factories: Optional[Sequence[ElementFactory]],
+          terminal: object) -> object:
+    """Build a pipeline of elements ending at ``terminal``.
+
+    Factories are listed in traversal order: the first factory produces
+    the element packets enter first. Returns the entry element (or
+    ``terminal`` itself when ``factories`` is empty/None).
+    """
+    entry: object = terminal
+    if factories:
+        for factory in reversed(list(factories)):
+            entry = factory(sim, entry)
+    return entry

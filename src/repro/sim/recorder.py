@@ -1,0 +1,112 @@
+"""Time-series recording for flows and queues.
+
+Recorders attach to senders (via the ``on_ack_hooks`` list) and to the
+simulator clock (periodic sampling) and accumulate plain Python lists, so
+downstream analysis can turn them into numpy arrays when needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .engine import Simulator
+from .host import Sender
+from .packet import AckInfo
+from .queue import BottleneckQueue
+
+
+class FlowRecorder:
+    """Records per-ACK RTT samples and periodic cwnd/rate/delivery samples.
+
+    Attributes populated during the run:
+        rtt_times / rtt_values: one entry per ACK processed.
+        sample_times / cwnd_values / pacing_values / delivered_values:
+            one entry per ``sample_interval``.
+    """
+
+    def __init__(self, sim: Simulator, sender: Sender,
+                 sample_interval: float = 0.05) -> None:
+        self.sim = sim
+        self.sender = sender
+        self.sample_interval = sample_interval
+
+        self.rtt_times: List[float] = []
+        self.rtt_values: List[float] = []
+        self.sample_times: List[float] = []
+        self.cwnd_values: List[float] = []
+        self.pacing_values: List[Optional[float]] = []
+        self.delivered_values: List[float] = []
+
+        sender.on_ack_hooks.append(self._on_ack)
+        sim.schedule(sample_interval, self._sample)
+
+    def _on_ack(self, sender: Sender, info: AckInfo) -> None:
+        self.rtt_times.append(info.now)
+        self.rtt_values.append(info.rtt)
+
+    def _sample(self) -> None:
+        self.sample_times.append(self.sim.now)
+        self.cwnd_values.append(self.sender.cca.cwnd_bytes)
+        self.pacing_values.append(self.sender.cca.pacing_rate)
+        self.delivered_values.append(self.sender.delivered_bytes)
+        self.sim.schedule(self.sample_interval, self._sample)
+
+    def throughput_between(self, t0: float, t1: float) -> float:
+        """Average delivered rate (bytes/s) over the window [t0, t1].
+
+        Uses the periodic delivered-bytes samples; t0/t1 snap to the
+        nearest recorded samples.
+        """
+        if not self.sample_times or t1 <= t0:
+            return 0.0
+        d0 = self._delivered_at(t0)
+        d1 = self._delivered_at(t1)
+        return max(0.0, (d1 - d0) / (t1 - t0))
+
+    def _delivered_at(self, t: float) -> float:
+        # Binary search over sorted sample times.
+        times = self.sample_times
+        lo, hi = 0, len(times)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if times[mid] <= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return 0.0
+        return self.delivered_values[lo - 1]
+
+    def rtt_range_after(self, t0: float) -> Tuple[float, float]:
+        """(min, max) of RTT samples observed at times >= t0."""
+        values = [v for t, v in zip(self.rtt_times, self.rtt_values)
+                  if t >= t0]
+        if not values:
+            return (float("nan"), float("nan"))
+        return (min(values), max(values))
+
+
+class QueueRecorder:
+    """Periodically samples bottleneck backlog (bytes) and delay."""
+
+    def __init__(self, sim: Simulator, queue: BottleneckQueue,
+                 sample_interval: float = 0.05) -> None:
+        self.sim = sim
+        self.queue = queue
+        self.sample_interval = sample_interval
+        self.sample_times: List[float] = []
+        self.backlog_values: List[float] = []
+        sim.schedule(sample_interval, self._sample)
+
+    def _sample(self) -> None:
+        self.sample_times.append(self.sim.now)
+        self.backlog_values.append(self.queue.backlog_bytes)
+        self.sim.schedule(self.sample_interval, self._sample)
+
+    def max_backlog(self) -> float:
+        return max(self.backlog_values, default=0.0)
+
+    def mean_backlog(self) -> float:
+        if not self.backlog_values:
+            return 0.0
+        return sum(self.backlog_values) / len(self.backlog_values)

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+class SinkSpy:
+    """Collects everything a pipeline delivers, with timestamps."""
+
+    def __init__(self) -> None:
+        self.items = []
+
+    def receive(self, packet, now):
+        self.items.append((now, packet))
+
+    @property
+    def times(self):
+        return [t for t, _ in self.items]
+
+    @property
+    def packets(self):
+        return [p for _, p in self.items]
+
+
+@pytest.fixture
+def spy() -> SinkSpy:
+    return SinkSpy()
+
+
+def mbps(x: float) -> float:
+    return units.mbps(x)
+
+
+def ms(x: float) -> float:
+    return units.ms(x)

@@ -1,0 +1,148 @@
+"""Tests for BBR: filters, mode machine, equilibria (Section 5.2)."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.ccas.bbr import BBR, PROBE_BW_GAINS
+from repro.sim import FlowConfig, LinkConfig, run_scenario_full
+from repro.sim.jitter import AckAggregationJitter
+from repro.sim.packet import AckInfo
+
+RATE = units.mbps(12)
+RM = units.ms(40)
+
+
+def make_info(now, rtt, rate_sample=None, delivered=0.0,
+              delivered_at_send=0.0, inflight=0):
+    return AckInfo(rtt=rtt, acked_bytes=1500, delivery_rate=rate_sample,
+                   inflight_bytes=inflight, min_rtt=rtt, now=now,
+                   delivered_bytes=delivered,
+                   delivered_at_send=delivered_at_send)
+
+
+class FakeSender:
+    mss = 1500
+
+    def __init__(self):
+        self.next_seq = 0
+
+
+def test_bandwidth_filter_takes_windowed_max():
+    bbr = BBR()
+    bbr.sender = FakeSender()
+    for i, sample in enumerate([1e6, 3e6, 2e6]):
+        bbr.round_count = i
+        bbr._update_bw(make_info(i * 0.04, 0.04, rate_sample=sample))
+    assert bbr.btl_bw == pytest.approx(3e6)
+
+
+def test_bandwidth_filter_expires_old_rounds():
+    bbr = BBR()
+    bbr.sender = FakeSender()
+    bbr.round_count = 0
+    bbr._update_bw(make_info(0.0, 0.04, rate_sample=9e6))
+    bbr.round_count = 20  # far beyond the 10-round window
+    bbr._update_bw(make_info(1.0, 0.04, rate_sample=1e6))
+    assert bbr.btl_bw == pytest.approx(1e6)
+
+
+def test_min_rtt_window_and_probe_trigger():
+    bbr = BBR()
+    bbr.sender = FakeSender()
+    bbr._update_min_rtt(make_info(0.0, 0.050))
+    assert bbr.min_rtt_est == pytest.approx(0.050)
+    # Samples keep arriving above the estimate: stamp must NOT refresh.
+    stamp = bbr._min_rtt_stamp
+    for k in range(10):
+        bbr._update_min_rtt(make_info(0.1 + k, 0.080))
+    assert bbr._min_rtt_stamp == stamp
+
+
+def test_min_rtt_stamp_refreshes_on_matching_sample():
+    bbr = BBR()
+    bbr.sender = FakeSender()
+    bbr._update_min_rtt(make_info(0.0, 0.050))
+    bbr._update_min_rtt(make_info(5.0, 0.050))
+    assert bbr._min_rtt_stamp == pytest.approx(5.0)
+
+
+def test_startup_exits_to_drain_then_probe_bw():
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=8.0),
+        [FlowConfig(cca_factory=lambda: BBR(seed=3), rm=RM)],
+        duration=5.0, warmup=0.0)
+    cca = result.scenario.flows[0].sender.cca
+    assert cca.filled_pipe
+    assert cca.mode in (BBR.PROBE_BW, BBR.PROBE_RTT)
+
+
+def test_single_flow_full_utilization():
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=8.0),
+        [FlowConfig(cca_factory=lambda: BBR(seed=3), rm=RM)],
+        duration=15.0, warmup=7.0)
+    assert result.utilization() > 0.9
+
+
+def test_pacing_mode_delay_band():
+    """Pacing-mode RTT stays within ~[Rm, 1.25 Rm] (Figure 3)."""
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=8.0),
+        [FlowConfig(cca_factory=lambda: BBR(seed=3), rm=RM)],
+        duration=15.0, warmup=7.0)
+    stats = result.stats[0]
+    assert stats.min_rtt < RM * 1.1
+    assert stats.max_rtt < RM * 1.6  # 1.25 plus queue/quanta slack
+
+
+def test_probe_bw_gain_cycle_composition():
+    assert PROBE_BW_GAINS[0] == 1.25
+    assert PROBE_BW_GAINS[1] == 0.75
+    assert all(g == 1.0 for g in PROBE_BW_GAINS[2:])
+    # The probe and drain phases cancel: average gain 1.
+    assert sum(PROBE_BW_GAINS) / len(PROBE_BW_GAINS) == pytest.approx(1.0)
+
+
+def test_cwnd_cap_includes_quanta():
+    bbr = BBR(quanta_packets=3.0, cwnd_gain=2.0)
+    bbr.sender = FakeSender()
+    bbr.btl_bw = 1e6
+    bbr.min_rtt_est = 0.04
+    bbr._cwnd_gain_now = 2.0
+    expected = 2.0 * 1e6 * 0.04 + 3 * 1500
+    assert bbr.cwnd_bytes == pytest.approx(expected)
+
+
+def test_zero_quanta_removes_fixed_point_anchor():
+    """Section 5.2: without +quanta, any cwnd split is an equilibrium."""
+    bbr = BBR(quanta_packets=0.0)
+    bbr.sender = FakeSender()
+    bbr.btl_bw = 1e6
+    bbr.min_rtt_est = 0.04
+    bbr._cwnd_gain_now = 2.0
+    assert bbr.cwnd_bytes == pytest.approx(2.0 * 1e6 * 0.04)
+
+
+def test_probe_rtt_shrinks_cwnd():
+    bbr = BBR()
+    bbr.sender = FakeSender()
+    bbr.mode = BBR.PROBE_RTT
+    assert bbr.cwnd_bytes == 4 * 1500
+
+
+def test_rtt_starvation_two_flows():
+    """Scaled Section 5.2: the smaller-Rm flow loses badly."""
+    result = run_scenario_full(
+        LinkConfig(rate=units.mbps(48), buffer_bdp=8.0),
+        [FlowConfig(cca_factory=lambda: BBR(seed=1), rm=units.ms(40),
+                    ack_elements=[lambda sim, sink: AckAggregationJitter(
+                        sim, sink, units.ms(4))]),
+         FlowConfig(cca_factory=lambda: BBR(seed=2), rm=units.ms(80),
+                    ack_elements=[lambda sim, sink: AckAggregationJitter(
+                        sim, sink, units.ms(4))])],
+        duration=40.0, warmup=15.0)
+    tput_small_rm = result.stats[0].throughput
+    tput_large_rm = result.stats[1].throughput
+    assert tput_large_rm > 2.0 * tput_small_rm

@@ -1,0 +1,125 @@
+"""Tests for NewReno and Cubic (the non-delay-convergent baselines)."""
+
+import pytest
+
+from repro import units
+from repro.ccas.cubic import Cubic
+from repro.ccas.reno import NewReno
+from repro.sim import FlowConfig, LinkConfig, run_scenario_full
+
+RATE = units.mbps(6)
+RM = units.ms(60)
+
+
+def run_single(cca_factory, duration=20.0, buffer_bdp=1.0):
+    return run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=buffer_bdp),
+        [FlowConfig(cca_factory=cca_factory, rm=RM)],
+        duration=duration, warmup=duration / 2)
+
+
+class TestNewReno:
+    def test_high_utilization_with_bdp_buffer(self):
+        result = run_single(NewReno)
+        assert result.utilization() > 0.8
+
+    def test_sawtooth_fills_buffer(self):
+        """Reno's delay oscillates over the whole buffer — it is NOT
+        delay-convergent (delta comparable to the buffer delay)."""
+        result = run_single(NewReno)
+        stats = result.stats[0]
+        delta = stats.max_rtt - stats.min_rtt
+        buffer_delay = RM  # 1 BDP of buffer = Rm of extra delay
+        assert delta > 0.3 * buffer_delay
+
+    def test_experiences_loss_and_recovers(self):
+        result = run_single(NewReno)
+        stats = result.stats[0]
+        assert stats.losses > 0
+        assert stats.timeouts == 0  # fast retransmit should suffice
+
+    def test_halves_once_per_window(self):
+        cca = NewReno(initial_cwnd=64.0)
+
+        class FakeSender:
+            next_seq = 1000
+
+        cca.sender = FakeSender()
+        cca.ssthresh = 32.0  # out of slow start
+        cca.on_loss(0.0, 10, 1500)
+        after_first = cca.cwnd
+        cca.on_loss(0.0, 11, 1500)  # same window
+        assert cca.cwnd == after_first
+        cca.on_loss(1.0, 2000, 1500)  # next window
+        assert cca.cwnd == pytest.approx(after_first * 0.5)
+
+    def test_timeout_resets_to_one(self):
+        cca = NewReno(initial_cwnd=64.0)
+
+        class FakeSender:
+            next_seq = 10
+
+        cca.sender = FakeSender()
+        cca.on_timeout(0.0)
+        assert cca.cwnd == 1.0
+
+    def test_slow_start_doubles_per_rtt(self):
+        result = run_scenario_full(
+            LinkConfig(rate=units.mbps(50), buffer_bdp=4.0),
+            [FlowConfig(cca_factory=lambda: NewReno(initial_cwnd=2),
+                        rm=RM)],
+            duration=1.0, warmup=0.0)
+        cca = result.scenario.flows[0].sender.cca
+        # ~16 RTTs in 1 s: window must have grown far beyond linear.
+        assert cca.cwnd > 50
+
+
+class TestCubic:
+    def test_high_utilization_with_bdp_buffer(self):
+        result = run_single(Cubic)
+        assert result.utilization() > 0.8
+
+    def test_beta_reduction_on_loss(self):
+        cca = Cubic(initial_cwnd=100.0)
+
+        class FakeSender:
+            next_seq = 500
+
+        cca.sender = FakeSender()
+        cca.ssthresh = 50.0
+        cca.on_loss(0.0, 5, 1500)
+        assert cca.cwnd == pytest.approx(100.0 * 0.7)
+
+    def test_cubic_growth_accelerates_past_wmax(self):
+        cca = Cubic()
+        cca.w_max = 100.0
+        cca._epoch_start = 0.0
+        cca._k = ((cca.w_max * (1 - cca.beta) / cca.cube_scale)
+                  ** (1.0 / 3.0))
+        near_plateau = cca._cubic_window(cca._k)
+        beyond = cca._cubic_window(cca._k + 5.0)
+        assert near_plateau == pytest.approx(cca.w_max)
+        assert beyond > cca.w_max + 40
+
+
+def test_reno_vs_reno_is_fair():
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=1.0),
+        [FlowConfig(cca_factory=NewReno, rm=RM),
+         FlowConfig(cca_factory=NewReno, rm=RM)],
+        duration=60.0, warmup=20.0)
+    assert result.throughput_ratio() < 2.0
+
+
+def test_delayed_acks_bias_but_do_not_starve():
+    """Figure 7 shape at reduced scale: bounded unfairness."""
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bytes=60 * 1500),
+        [FlowConfig(cca_factory=NewReno, rm=units.ms(120), ack_every=4,
+                    ack_timeout=units.ms(200), label="delacks"),
+         FlowConfig(cca_factory=NewReno, rm=units.ms(120),
+                    label="perpkt")],
+        duration=100.0, warmup=30.0)
+    ratio = result.throughput_ratio()
+    assert 1.2 < ratio < 8.0           # biased...
+    assert result.stats[0].throughput > 0.05 * RATE  # ...but not starved

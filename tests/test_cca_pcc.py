@@ -1,0 +1,177 @@
+"""Tests for the PCC family: monitor intervals, Vivace, Allegro."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.ccas.allegro import Allegro
+from repro.ccas.pcc_base import MonitorStats
+from repro.ccas.vivace import Vivace
+from repro.sim import FlowConfig, LinkConfig, run_scenario_full
+from repro.sim.jitter import AckAggregationJitter
+from repro.sim.loss import RandomLossElement
+
+RATE = units.mbps(12)
+RM = units.ms(40)
+
+
+def make_stats(rate=1e6, duration=0.1, acked_bytes=None, losses=0,
+               sent_packets=None, rtt_samples=()):
+    stats = MonitorStats(rate=rate, start=0.0)
+    stats.end = duration
+    stats.acked_bytes = (acked_bytes if acked_bytes is not None
+                         else rate * duration)
+    stats.acked_packets = int(stats.acked_bytes / 1500)
+    stats.sent_packets = (sent_packets if sent_packets is not None
+                          else stats.acked_packets + losses)
+    stats.losses = losses
+    stats.rtt_samples = list(rtt_samples)
+    return stats
+
+
+class TestMonitorStats:
+    def test_throughput(self):
+        stats = make_stats(rate=1e6, duration=0.5, acked_bytes=250000)
+        assert stats.throughput() == pytest.approx(500000)
+
+    def test_loss_rate(self):
+        stats = make_stats(losses=5, sent_packets=100)
+        assert stats.loss_rate() == pytest.approx(0.05)
+
+    def test_loss_rate_empty_interval(self):
+        stats = make_stats(acked_bytes=0, sent_packets=0)
+        assert stats.loss_rate() == 0.0
+
+    def test_rtt_gradient_positive_ramp(self):
+        samples = [(t, 0.04 + 0.01 * t) for t in
+                   [0.0, 0.02, 0.04, 0.06, 0.08]]
+        stats = make_stats(rtt_samples=samples)
+        assert stats.rtt_gradient() == pytest.approx(0.01, rel=1e-6)
+
+    def test_rtt_gradient_flat(self):
+        samples = [(t, 0.04) for t in [0.0, 0.05, 0.1]]
+        stats = make_stats(rtt_samples=samples)
+        assert stats.rtt_gradient() == pytest.approx(0.0, abs=1e-12)
+
+    def test_rtt_gradient_needs_two_samples(self):
+        stats = make_stats(rtt_samples=[(0.0, 0.04)])
+        assert stats.rtt_gradient() == 0.0
+
+
+class TestVivaceUtility:
+    def test_rewards_throughput(self):
+        cca = Vivace()
+        low = cca.utility(make_stats(acked_bytes=125000, duration=0.1))
+        high = cca.utility(make_stats(acked_bytes=500000, duration=0.1))
+        assert high > low
+
+    def test_penalizes_rtt_gradient(self):
+        cca = Vivace()
+        flat = make_stats(rtt_samples=[(0.0, 0.04), (0.05, 0.04),
+                                       (0.1, 0.04)])
+        rising = make_stats(rtt_samples=[(0.0, 0.04), (0.05, 0.05),
+                                         (0.1, 0.06)])
+        assert cca.utility(flat) > cca.utility(rising)
+
+    def test_negative_gradient_not_rewarded(self):
+        cca = Vivace()
+        falling = make_stats(rtt_samples=[(0.0, 0.06), (0.05, 0.05),
+                                          (0.1, 0.04)])
+        flat = make_stats(rtt_samples=[(0.0, 0.04), (0.05, 0.04),
+                                       (0.1, 0.04)])
+        assert cca.utility(falling) == pytest.approx(cca.utility(flat))
+
+    def test_penalizes_loss(self):
+        cca = Vivace()
+        assert (cca.utility(make_stats(losses=0))
+                > cca.utility(make_stats(losses=10)))
+
+
+class TestAllegroUtility:
+    def test_loss_below_threshold_tolerated(self):
+        cca = Allegro()
+        clean = cca.utility(make_stats(losses=0, sent_packets=1000))
+        lossy = cca.utility(make_stats(losses=20, sent_packets=1000))
+        assert lossy > 0.9 * clean
+
+    def test_loss_above_threshold_penalized(self):
+        cca = Allegro()
+        heavy = cca.utility(make_stats(losses=100, sent_packets=1000))
+        assert heavy < 0
+
+
+class TestVivaceIntegration:
+    def test_converges_near_capacity_low_delay(self):
+        result = run_scenario_full(
+            LinkConfig(rate=RATE, buffer_bdp=8.0),
+            [FlowConfig(cca_factory=Vivace, rm=RM)],
+            duration=20.0, warmup=10.0)
+        assert result.utilization() > 0.8
+        # Vivace holds delay near Rm (Figure 3: [Rm, 1.05 Rm]).
+        assert result.stats[0].mean_rtt < RM * 1.4
+
+    def test_ack_aggregation_starves_vivace(self):
+        """Section 5.3 shape at reduced scale."""
+        result = run_scenario_full(
+            LinkConfig(rate=RATE, buffer_bdp=8.0),
+            [FlowConfig(cca_factory=Vivace, rm=RM, label="agg",
+                        ack_elements=[
+                            lambda sim, sink: AckAggregationJitter(
+                                sim, sink, units.ms(40))]),
+             FlowConfig(cca_factory=Vivace, rm=RM, label="clean")],
+            duration=40.0, warmup=15.0)
+        assert result.stats[1].throughput > 3 * result.stats[0].throughput
+
+
+class TestAllegroIntegration:
+    def test_single_flow_with_loss_fully_utilizes(self):
+        result = run_scenario_full(
+            LinkConfig(rate=RATE, buffer_bdp=1.0),
+            [FlowConfig(cca_factory=lambda: Allegro(seed=1), rm=RM,
+                        data_elements=[
+                            lambda sim, sink: RandomLossElement(
+                                sim, sink, 0.02, seed=5)])],
+            duration=40.0, warmup=20.0)
+        assert result.utilization() > 0.7
+
+    def test_asymmetric_loss_biases_heavily(self):
+        # The paper's scenario runs at 120 Mbit/s, where an MI holds
+        # enough packets for a 2% loss signal to dominate; smaller links
+        # dilute the effect and the divergence builds over tens of
+        # seconds (with seed-dependent onset), so this test keeps the
+        # paper's rate and duration and pins the seeds.
+        result = run_scenario_full(
+            LinkConfig(rate=units.mbps(120), buffer_bdp=1.0),
+            [FlowConfig(cca_factory=lambda: Allegro(seed=1), rm=RM,
+                        label="lossy",
+                        data_elements=[
+                            lambda sim, sink: RandomLossElement(
+                                sim, sink, 0.02, seed=11)]),
+             FlowConfig(cca_factory=lambda: Allegro(seed=2), rm=RM,
+                        label="clean")],
+            duration=60.0, warmup=30.0)
+        assert result.stats[1].throughput > 2 * result.stats[0].throughput
+
+
+def test_mi_accounting_attributes_by_send_time():
+    """Packets sent in MI k must be charged to MI k even when their
+    ACKs/losses arrive during MI k+1."""
+    recorded = []
+
+    class Probe(Vivace):
+        def on_interval_done(self, stats):
+            recorded.append(stats)
+            super().on_interval_done(stats)
+
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=4.0),
+        [FlowConfig(cca_factory=Probe, rm=RM)],
+        duration=5.0, warmup=0.0)
+    assert recorded, "no monitor intervals completed"
+    for stats in recorded:
+        assert stats.pending == 0
+        assert stats.acked_packets + stats.losses <= stats.sent_packets + 1
+    # Intervals are delivered in send order.
+    starts = [s.start for s in recorded]
+    assert starts == sorted(starts)

@@ -1,0 +1,77 @@
+"""Tests for the simplified Verus implementation."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.ccas.verus import Verus
+from repro.sim import FlowConfig, LinkConfig, run_scenario_full
+from repro.sim.jitter import ConstantJitter, ExemptFirstJitter
+
+RM = units.ms(40)
+RATE = units.mbps(12)
+
+
+def test_single_flow_fully_utilizes():
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=8.0),
+        [FlowConfig(cca_factory=Verus, rm=RM)],
+        duration=20.0, warmup=10.0)
+    assert result.utilization() > 0.9
+
+
+def test_delay_converges_to_target_band():
+    """Verus is delay-convergent: RTT settles inside
+    [min_target, max_target] x min_rtt with a narrow band."""
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=8.0),
+        [FlowConfig(cca_factory=Verus, rm=RM)],
+        duration=20.0, warmup=10.0)
+    stats = result.stats[0]
+    assert stats.mean_rtt < 4.5 * RM
+    assert stats.mean_rtt > 1.0 * RM
+    assert (stats.max_rtt - stats.min_rtt) < 0.5 * RM
+
+
+def test_two_flows_share_fairly():
+    result = run_scenario_full(
+        LinkConfig(rate=RATE, buffer_bdp=8.0),
+        [FlowConfig(cca_factory=Verus, rm=RM),
+         FlowConfig(cca_factory=Verus, rm=RM)],
+        duration=30.0, warmup=15.0)
+    assert result.throughput_ratio() < 2.0
+
+
+def test_profile_learning():
+    cca = Verus()
+    cca.cwnd = 10.0
+    for rtt in (0.050, 0.052, 0.054):
+        cca._learn(cca.cwnd, rtt)
+    bucket = cca._bucket(10.0)
+    assert 0.050 <= cca._profile[bucket] <= 0.054
+
+
+def test_window_for_delay_picks_largest_feasible():
+    cca = Verus(bucket_packets=2.0)
+    cca._profile = {5: 0.050, 10: 0.070, 20: 0.120}
+    window = cca._window_for_delay(0.080)
+    assert window == pytest.approx((10 + 0.5) * 2.0)
+    assert cca._window_for_delay(0.040) is None
+
+
+def test_min_rtt_poisoning_biases_verus():
+    """The paper places Verus in the delay-convergent family; the same
+    min-RTT poisoning (10 ms) that bites Vegas biases Verus too: the
+    poisoned flow's delay target (a multiple of its min RTT) is
+    deflated relative to its true path."""
+    result = run_scenario_full(
+        LinkConfig(rate=units.mbps(24), buffer_bdp=8.0),
+        [FlowConfig(cca_factory=Verus, rm=RM, label="poisoned",
+                    ack_elements=[lambda sim, sink: ExemptFirstJitter(
+                        sim, sink, units.ms(10), exempt_seqs=[0])]),
+         FlowConfig(cca_factory=Verus, rm=RM, label="clean",
+                    ack_elements=[lambda sim, sink: ConstantJitter(
+                        sim, sink, units.ms(10))])],
+        duration=40.0, warmup=20.0)
+    assert result.stats[1].throughput > 1.3 * result.stats[0].throughput

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import (CCA_FACTORIES, STARVE_SCENARIOS, build_parser,
+                       main, parse_flow_spec)
+from repro.sim.network import FlowConfig
+
+
+class TestFlowSpecParsing:
+    def test_plain_cca(self):
+        config = parse_flow_spec("vegas", rm=0.04)
+        assert isinstance(config, FlowConfig)
+        assert config.label == "vegas"
+        assert config.ack_elements == ()
+
+    def test_all_ccas_resolve(self):
+        for name in CCA_FACTORIES:
+            config = parse_flow_spec(name, rm=0.04)
+            cca = config.cca_factory()
+            assert hasattr(cca, "on_ack")
+
+    def test_poison_modifier(self):
+        config = parse_flow_spec("copa:poison", rm=0.04)
+        assert len(config.ack_elements) == 1
+
+    def test_poison_with_amount(self):
+        config = parse_flow_spec("copa:poison5", rm=0.04)
+        assert len(config.ack_elements) == 1
+
+    def test_jitter_modifier(self):
+        config = parse_flow_spec("vegas:jitter10", rm=0.04)
+        assert len(config.ack_elements) == 1
+
+    def test_agg_modifier(self):
+        config = parse_flow_spec("vivace:agg60", rm=0.04)
+        assert len(config.ack_elements) == 1
+
+    def test_delack_modifier(self):
+        config = parse_flow_spec("reno:delack4", rm=0.04)
+        assert config.ack_every == 4
+        assert config.ack_timeout is not None
+
+    def test_unknown_cca_exits(self):
+        with pytest.raises(SystemExit):
+            parse_flow_spec("nope", rm=0.04)
+
+    def test_unknown_modifier_exits(self):
+        with pytest.raises(SystemExit):
+            parse_flow_spec("vegas:zap", rm=0.04)
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        code = main(["run", "--rate", "12", "--rm", "40",
+                     "--cca", "vegas", "--duration", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vegas" in out
+        assert "utilization" in out
+
+    def test_run_two_flows(self, capsys):
+        code = main(["run", "--rate", "12", "--rm", "40",
+                     "--cca", "vegas", "--cca", "vegas:jitter5",
+                     "--duration", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vegas:jitter5" in out
+
+    def test_sweep_command(self, capsys):
+        code = main(["sweep", "--cca", "vegas", "--rates", "2,10",
+                     "--rm", "40", "--duration", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delta_max" in out
+
+    def test_theorem_2(self, capsys):
+        code = main(["theorem", "2"])
+        assert code == 0
+        assert "utilization" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_starve_choices_cover_section5(self):
+        assert {"copa", "bbr", "vivace", "allegro"} <= set(
+            STARVE_SCENARIOS)

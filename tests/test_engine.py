@@ -1,0 +1,112 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_events_run_in_time_order(sim):
+    order = []
+    sim.schedule(0.3, order.append, "c")
+    sim.schedule(0.1, order.append, "a")
+    sim.schedule(0.2, order.append, "b")
+    sim.run_all()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order(sim):
+    order = []
+    sim.schedule(0.5, order.append, 1)
+    sim.schedule(0.5, order.append, 2)
+    sim.schedule(0.5, order.append, 3)
+    sim.run_all()
+    assert order == [1, 2, 3]
+
+
+def test_clock_advances_to_event_time(sim):
+    seen = []
+    sim.schedule(1.25, lambda: seen.append(sim.now))
+    sim.run_all()
+    assert seen == [1.25]
+    assert sim.now == 1.25
+
+
+def test_run_until_stops_before_later_events(sim):
+    order = []
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(5.0, order.append, "late")
+    sim.run(2.0)
+    assert order == ["early"]
+    assert sim.now == 2.0  # clock advanced to the horizon
+
+
+def test_run_advances_clock_even_with_no_events(sim):
+    sim.run(3.0)
+    assert sim.now == 3.0
+
+
+def test_cancelled_event_does_not_fire(sim):
+    order = []
+    event = sim.schedule(0.1, order.append, "x")
+    sim.schedule(0.2, order.append, "y")
+    event.cancel()
+    sim.run_all()
+    assert order == ["y"]
+
+
+def test_schedule_in_past_raises(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run_all()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_events_can_schedule_events(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.5, order.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run_all()
+    assert order == ["first", "second"]
+    assert sim.now == 1.5
+
+
+def test_events_processed_counter(sim):
+    for i in range(5):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run_all()
+    assert sim.events_processed == 5
+
+
+def test_peek_time_skips_cancelled(sim):
+    e1 = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    e1.cancel()
+    assert sim.peek_time() == pytest.approx(0.2)
+
+
+def test_runaway_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run_all(max_events=1000)
+
+
+def test_schedule_at_now_is_allowed(sim):
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule_at(sim.now, fired.append, 1))
+    sim.run_all()
+    assert fired == [1]

@@ -1,0 +1,141 @@
+"""Tests for the CCAC-substitute adversarial trace search."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.explorer import (AimdFlow, JitterAwareFlow, NetParams,
+                                  TraceStep, exhaustive_search,
+                                  guided_search, simulate_trace,
+                                  underutilization_objective,
+                                  unfairness_objective)
+
+NET = NetParams(link_rate=1.5e6, rm=0.05, jitter_bound=0.02,
+                buffer_bytes=60 * 1500)
+
+
+def idle_steps(n, flows=2):
+    return [TraceStep(jitters=(0.0,) * flows, losses=(False,) * flows)
+            for _ in range(n)]
+
+
+class TestSimulateTrace:
+    def test_deterministic(self):
+        steps = idle_steps(20)
+        r1 = simulate_trace([AimdFlow(), AimdFlow()], NET, steps)
+        r2 = simulate_trace([AimdFlow(), AimdFlow()], NET, steps)
+        assert r1.delivered == r2.delivered
+        assert r1.queue_history == r2.queue_history
+
+    def test_flows_not_mutated(self):
+        flow = AimdFlow(initial_packets=10.0)
+        simulate_trace([flow, flow.clone()], NET, idle_steps(20))
+        assert flow.cwnd == 10.0 * 1500
+
+    def test_symmetric_flows_stay_symmetric(self):
+        result = simulate_trace([AimdFlow(), AimdFlow()], NET,
+                                idle_steps(30))
+        assert result.throughput_ratio() == pytest.approx(1.0)
+
+    def test_overflow_causes_backoff(self):
+        small_buffer = NetParams(link_rate=1.5e6, rm=0.05,
+                                 jitter_bound=0.02,
+                                 buffer_bytes=10 * 1500)
+        result = simulate_trace([AimdFlow(initial_packets=200)],
+                                small_buffer, idle_steps(10, flows=1))
+        # The queue must never exceed the buffer.
+        assert max(result.queue_history) <= 10 * 1500 + 1e-9
+
+    def test_injected_loss_requires_flag(self):
+        lossy_step = [TraceStep(jitters=(0.0,), losses=(True,))] * 10
+        no_injection = simulate_trace([AimdFlow()], NET, lossy_step)
+        injecting = NetParams(link_rate=1.5e6, rm=0.05,
+                              jitter_bound=0.02,
+                              buffer_bytes=60 * 1500,
+                              allow_loss_injection=True)
+        with_injection = simulate_trace([AimdFlow()], injecting,
+                                        lossy_step)
+        assert with_injection.delivered[0] < no_injection.delivered[0]
+
+
+class TestAimdBoundedUnfairness:
+    """Appendix C: no short trace starves AIMD at 1 BDP of buffer when
+    losses only come from buffer overflow."""
+
+    def test_exhaustive_short_horizon(self):
+        report = exhaustive_search(
+            [AimdFlow(initial_packets=5),
+             AimdFlow(initial_packets=5)],
+            NET, horizon=6, objective=unfairness_objective)
+        assert report.exhaustive
+        assert report.best_objective < 3.0
+
+    def test_guided_longer_horizon_stays_bounded(self):
+        report = guided_search(
+            [AimdFlow(initial_packets=5), AimdFlow(initial_packets=5)],
+            NET, horizon=30, objective=unfairness_objective,
+            rollouts=40, seed=3)
+        assert report.best_objective < 5.0
+
+    def test_unequal_start_recovers(self):
+        """AIMD converges toward fairness from a 20:1 cwnd imbalance."""
+        result = simulate_trace(
+            [AimdFlow(initial_packets=2), AimdFlow(initial_packets=40)],
+            NET, idle_steps(200))
+        assert result.throughput_ratio() < 4.0
+
+
+class TestJitterAwareSearch:
+    """Section 6.3: the search finds no s-fairness violation for
+    Algorithm 1 under jitter <= D."""
+
+    def make_flows(self, initial_rate=None):
+        return [JitterAwareFlow(jitter_bound=0.02, rm=0.05, s=2.0,
+                                rmax=0.2, mu_minus=12500.0,
+                                initial_rate=initial_rate)
+                for _ in range(2)]
+
+    def test_exhaustive_no_gross_violation(self):
+        report = exhaustive_search(self.make_flows(), NET, horizon=6,
+                                   objective=unfairness_objective)
+        assert report.best_objective < 2.0 * 2.0  # s^2 transient bound
+
+    def test_guided_no_gross_violation(self):
+        report = guided_search(self.make_flows(), NET, horizon=40,
+                               objective=unfairness_objective,
+                               rollouts=30, seed=7)
+        assert report.best_objective < 2.0 * 2.5
+
+    def test_efficiency_maintained_under_adversary(self):
+        # Start from fair share: Algorithm 1's additive increase is
+        # deliberately slow (the paper flags this), so a cold start
+        # would dominate a 40-step horizon regardless of the adversary.
+        report = guided_search(self.make_flows(initial_rate=0.75e6),
+                               NET, horizon=40,
+                               objective=underutilization_objective(NET),
+                               rollouts=30, seed=7)
+        # Even the worst trace found leaves utilization above 50%.
+        assert report.best_objective < 0.5
+
+
+class TestSearchMachinery:
+    def test_exhaustive_budget_guard(self):
+        with pytest.raises(ConfigurationError):
+            exhaustive_search([AimdFlow(), AimdFlow()], NET, horizon=20,
+                              objective=unfairness_objective,
+                              max_traces=1000)
+
+    def test_guided_search_deterministic_per_seed(self):
+        flows = [AimdFlow(), AimdFlow()]
+        r1 = guided_search(flows, NET, 10, unfairness_objective,
+                           rollouts=10, seed=5)
+        r2 = guided_search(flows, NET, 10, unfairness_objective,
+                           rollouts=10, seed=5)
+        assert r1.best_objective == r2.best_objective
+
+    def test_exhaustive_covers_expected_count(self):
+        report = exhaustive_search([AimdFlow()], NET, horizon=3,
+                                   objective=unfairness_objective)
+        # 2 jitter choices, 1 flow, no loss injection: 2^3 traces.
+        assert report.traces_evaluated == 8

@@ -1,0 +1,89 @@
+"""Unit tests for loss elements."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.loss import (PeriodicLossElement, RandomLossElement,
+                            TargetedLossElement)
+from repro.sim.packet import Packet
+
+
+def make_packet(seq=0, retransmit=False):
+    return Packet(flow_id=0, seq=seq, size=1500, sent_time=0.0,
+                  is_retransmit=retransmit)
+
+
+def test_zero_probability_drops_nothing(sim, spy):
+    element = RandomLossElement(sim, spy, loss_prob=0.0)
+    for i in range(100):
+        element.receive(make_packet(seq=i), 0.0)
+    assert element.dropped == 0
+    assert len(spy.packets) == 100
+
+
+def test_loss_rate_close_to_probability(sim, spy):
+    element = RandomLossElement(sim, spy, loss_prob=0.02, seed=42)
+    n = 20000
+    for i in range(n):
+        element.receive(make_packet(seq=i), 0.0)
+    rate = element.dropped / n
+    assert 0.015 < rate < 0.025
+
+
+def test_seeded_runs_are_identical(sim, spy):
+    def run(seed):
+        element = RandomLossElement(sim, spy, loss_prob=0.1, seed=seed)
+        dropped = []
+        for i in range(500):
+            before = element.dropped
+            element.receive(make_packet(seq=i), 0.0)
+            if element.dropped > before:
+                dropped.append(i)
+        return dropped
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_invalid_probability_rejected(sim, spy):
+    with pytest.raises(ConfigurationError):
+        RandomLossElement(sim, spy, loss_prob=1.0)
+    with pytest.raises(ConfigurationError):
+        RandomLossElement(sim, spy, loss_prob=-0.1)
+
+
+def test_periodic_loss_drops_every_nth(sim, spy):
+    element = PeriodicLossElement(sim, spy, period=5)
+    for i in range(10):
+        element.receive(make_packet(seq=i), 0.0)
+    assert element.dropped == 2
+    assert [p.seq for p in spy.packets] == [0, 1, 2, 3, 5, 6, 7, 8]
+
+
+def test_periodic_minimum_period(sim, spy):
+    with pytest.raises(ConfigurationError):
+        PeriodicLossElement(sim, spy, period=1)
+
+
+def test_targeted_loss_drops_only_listed(sim, spy):
+    element = TargetedLossElement(sim, spy, drop_seqs=[2, 4])
+    for i in range(6):
+        element.receive(make_packet(seq=i), 0.0)
+    assert [p.seq for p in spy.packets] == [0, 1, 3, 5]
+
+
+def test_targeted_loss_lets_retransmits_through(sim, spy):
+    element = TargetedLossElement(sim, spy, drop_seqs=[3])
+    element.receive(make_packet(seq=3), 0.0)               # dropped
+    element.receive(make_packet(seq=3, retransmit=True), 0.0)  # passes
+    assert element.dropped == 1
+    assert [p.seq for p in spy.packets] == [3]
+
+
+def test_targeted_loss_drop_retransmits_option(sim, spy):
+    element = TargetedLossElement(sim, spy, drop_seqs=[3],
+                                  drop_retransmits=True)
+    element.receive(make_packet(seq=3), 0.0)
+    element.receive(make_packet(seq=3, retransmit=True), 0.0)
+    assert element.dropped == 2
+    assert spy.packets == []

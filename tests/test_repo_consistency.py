@@ -1,0 +1,88 @@
+"""Repository self-consistency: docs reference real artifacts.
+
+Guards against the usual doc rot: every bench module, example script,
+and CCA named in DESIGN.md / EXPERIMENTS.md / README.md must exist, and
+the public packages must export what the docs promise.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(name):
+    with open(os.path.join(REPO, name)) as handle:
+        return handle.read()
+
+
+def test_design_bench_references_exist():
+    text = read("DESIGN.md") + read("EXPERIMENTS.md")
+    for match in set(re.findall(r"test_[a-z0-9_]+\.py", text)):
+        candidates = [os.path.join(REPO, "benchmarks", match),
+                      os.path.join(REPO, "tests", match)]
+        assert any(os.path.exists(p) for p in candidates), \
+            f"DESIGN/EXPERIMENTS references missing module {match}"
+
+
+def test_readme_examples_exist():
+    text = read("README.md")
+    for match in set(re.findall(r"examples/([a-z_]+\.py)", text)):
+        assert os.path.exists(os.path.join(REPO, "examples", match)), \
+            f"README references missing example {match}"
+
+
+def test_every_bench_module_has_a_test_function():
+    bench_dir = os.path.join(REPO, "benchmarks")
+    for name in os.listdir(bench_dir):
+        if name.startswith("test_") and name.endswith(".py"):
+            with open(os.path.join(bench_dir, name)) as handle:
+                assert "def test_" in handle.read(), name
+
+
+def test_public_cca_exports():
+    import repro.ccas as ccas
+    for name in ("Vegas", "FastTCP", "Copa", "BBR", "Vivace", "Allegro",
+                 "NewReno", "Cubic", "Ledbat", "Verus", "JitterAware",
+                 "DelayAimd", "EcnAimd", "WindowTarget"):
+        assert hasattr(ccas, name), name
+        assert name in ccas.__all__, name
+
+
+def test_delay_convergent_registry_matches_paper_list():
+    """The paper's Section 2.2 list (Vegas, FAST, Sprout*, BBR,
+    PCC Vivace, Copa, PCC Proteus*, Verus) intersected with what we
+    implement must all be registered as delay-convergent.
+    (* not implemented; documented in DESIGN.md.)"""
+    import repro.ccas as ccas
+    names = {cls.__name__ for cls in ccas.DELAY_CONVERGENT}
+    assert {"Vegas", "FastTCP", "Copa", "BBR", "Vivace",
+            "Verus"} <= names
+    loss_based = {cls.__name__ for cls in ccas.LOSS_BASED}
+    assert {"NewReno", "Cubic"} <= loss_based
+    assert not names & loss_based
+
+
+def test_examples_are_executable_scripts():
+    example_dir = os.path.join(REPO, "examples")
+    for name in os.listdir(example_dir):
+        if name.endswith(".py"):
+            with open(os.path.join(example_dir, name)) as handle:
+                text = handle.read()
+            assert text.startswith("#!/usr/bin/env python3"), name
+            assert '__name__ == "__main__"' in text, name
+            assert '"""' in text, f"{name} missing a docstring"
+
+
+def test_every_public_module_has_docstring():
+    import importlib
+    import pkgutil
+
+    import repro
+
+    for module_info in pkgutil.walk_packages(repro.__path__,
+                                             prefix="repro."):
+        module = importlib.import_module(module_info.name)
+        assert module.__doc__, f"{module_info.name} missing docstring"

@@ -1,0 +1,166 @@
+"""Tests for units, errors, recorder plumbing, and adversary schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.model import adversary
+from repro.sim import FlowConfig, LinkConfig, run_scenario_full
+from repro.ccas.vegas import Vegas
+
+
+class TestUnits:
+    def test_mbps_roundtrip(self):
+        assert units.to_mbps(units.mbps(12.5)) == pytest.approx(12.5)
+
+    def test_mbps_is_bytes_per_second(self):
+        assert units.mbps(12) == pytest.approx(1.5e6)
+
+    def test_kbps_gbps_consistency(self):
+        assert units.gbps(1) == pytest.approx(1000 * units.mbps(1))
+        assert units.mbps(1) == pytest.approx(1000 * units.kbps(1))
+
+    def test_ms(self):
+        assert units.ms(40) == pytest.approx(0.04)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(SimulationError, ReproError)
+
+    def test_emulation_error_payload(self):
+        from repro.errors import EmulationInfeasibleError
+        err = EmulationInfeasibleError("nope", time=1.5,
+                                       required_delay=-0.1)
+        assert err.time == 1.5
+        assert err.required_delay == -0.1
+
+
+class TestAdversary:
+    def test_constant(self):
+        eta = adversary.constant(0.01)
+        assert eta(0.0) == 0.01
+        assert eta(100.0) == 0.01
+
+    def test_zero(self):
+        assert adversary.zero()(5.0) == 0.0
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adversary.constant(-0.01)
+
+    def test_square_wave(self):
+        eta = adversary.square_wave(high=0.02, period=1.0, duty=0.25)
+        assert eta(0.1) == 0.02
+        assert eta(0.5) == 0.0
+        assert eta(1.1) == 0.02   # periodic
+
+    def test_sawtooth_ramps(self):
+        eta = adversary.sawtooth(high=0.1, period=1.0)
+        assert eta(0.0) == pytest.approx(0.0)
+        assert eta(0.5) == pytest.approx(0.05)
+        assert eta(1.5) == pytest.approx(0.05)
+
+    def test_step_at(self):
+        eta = adversary.step_at(2.0, 0.03)
+        assert eta(1.9) == 0.0
+        assert eta(2.1) == 0.03
+
+    def test_from_table_step_interpolation(self):
+        times = np.array([0.0, 0.1, 0.2])
+        values = np.array([0.0, 0.01, 0.02])
+        eta = adversary.from_table(times, values)
+        assert eta(0.05) == pytest.approx(0.0)
+        assert eta(0.15) == pytest.approx(0.01)
+        assert eta(5.00) == pytest.approx(0.02)
+
+    def test_from_table_clamps_to_bound(self):
+        eta = adversary.from_table(np.array([0.0]), np.array([5.0]),
+                                   bound=0.01)
+        assert eta(0.0) == 0.01
+
+    def test_from_table_validation(self):
+        with pytest.raises(ConfigurationError):
+            adversary.from_table(np.array([0.0]), np.array([]))
+
+    def test_pick_worst_phase(self):
+        def evaluate(eta):
+            return eta(0.0)   # minimize the t=0 value
+
+        phase, score = adversary.pick_worst_phase(
+            lambda p: adversary.square_wave(0.02, 1.0, 0.5, phase=p),
+            phases=[0.0, 0.6], evaluate=evaluate)
+        assert phase == 0.6
+        assert score == 0.0
+
+
+class TestRecorderPlumbing:
+    def test_throughput_between_windows(self):
+        result = run_scenario_full(
+            LinkConfig(rate=units.mbps(12)),
+            [FlowConfig(cca_factory=Vegas, rm=units.ms(40))],
+            duration=6.0, warmup=0.0)
+        recorder = result.scenario.flows[0].recorder
+        early = recorder.throughput_between(0.0, 1.0)
+        late = recorder.throughput_between(3.0, 6.0)
+        assert late >= early          # converged > slow start window
+        assert late == pytest.approx(units.mbps(12), rel=0.05)
+
+    def test_rtt_range_after(self):
+        result = run_scenario_full(
+            LinkConfig(rate=units.mbps(12)),
+            [FlowConfig(cca_factory=Vegas, rm=units.ms(40))],
+            duration=6.0, warmup=0.0)
+        recorder = result.scenario.flows[0].recorder
+        lo, hi = recorder.rtt_range_after(3.0)
+        assert units.ms(40) <= lo <= hi < units.ms(60)
+
+    def test_queue_recorder_tracks_backlog(self):
+        result = run_scenario_full(
+            LinkConfig(rate=units.mbps(12)),
+            [FlowConfig(cca_factory=Vegas, rm=units.ms(40))],
+            duration=6.0, warmup=0.0)
+        qrec = result.scenario.queue_recorder
+        assert qrec.max_backlog() > 0
+        assert 0 < qrec.mean_backlog() <= qrec.max_backlog()
+
+
+class TestScenarioValidation:
+    def test_empty_flow_list_rejected(self):
+        from repro.sim.network import build_dumbbell
+        with pytest.raises(ConfigurationError):
+            build_dumbbell(LinkConfig(rate=units.mbps(12)), [])
+
+    def test_both_buffer_specs_rejected(self):
+        link = LinkConfig(rate=units.mbps(12), buffer_bytes=1000,
+                          buffer_bdp=1.0)
+        with pytest.raises(ConfigurationError):
+            link.resolve_buffer(0.05)
+
+    def test_buffer_bdp_resolution(self):
+        link = LinkConfig(rate=units.mbps(12), buffer_bdp=2.0)
+        assert link.resolve_buffer(0.05) == pytest.approx(
+            2.0 * units.mbps(12) * 0.05)
+
+    def test_nonpositive_rm_rejected(self):
+        from repro.sim.network import build_dumbbell
+        with pytest.raises(ConfigurationError):
+            build_dumbbell(
+                LinkConfig(rate=units.mbps(12)),
+                [FlowConfig(cca_factory=Vegas, rm=0.0)])
+
+    def test_flow_start_times_honored(self):
+        result = run_scenario_full(
+            LinkConfig(rate=units.mbps(12)),
+            [FlowConfig(cca_factory=Vegas, rm=units.ms(40)),
+             FlowConfig(cca_factory=Vegas, rm=units.ms(40),
+                        start_time=2.0)],
+            duration=4.0, warmup=0.0)
+        late_sender = result.scenario.flows[1].sender
+        first_rtt_time = result.scenario.flows[1].recorder.rtt_times[0]
+        assert first_rtt_time > 2.0
+        assert result.scenario.flows[0].recorder.rtt_times[0] < 1.0

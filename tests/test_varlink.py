@@ -1,0 +1,151 @@
+"""Tests for the variable-rate bottleneck (repro.sim.varlink)."""
+
+import pytest
+
+from repro import units
+from repro.ccas import BBR, Cubic, Vegas
+from repro.errors import ConfigurationError
+from repro.sim import FlowConfig, LinkConfig
+from repro.sim.engine import Simulator
+from repro.sim.host import Receiver, Sender
+from repro.sim.packet import Packet
+from repro.sim.path import DelayElement
+from repro.sim.varlink import (RateSchedule, VariableRateQueue,
+                               cellular_schedule,
+                               rate_schedule_from_deliveries,
+                               square_schedule)
+
+
+class Collector:
+    def __init__(self):
+        self.items = []
+
+    def receive(self, packet, now):
+        self.items.append((now, packet))
+
+
+class TestRateSchedule:
+    def test_rate_at_steps(self):
+        schedule = RateSchedule([(0.0, 100.0), (1.0, 200.0)])
+        assert schedule.rate_at(0.5) == 100.0
+        assert schedule.rate_at(1.5) == 200.0
+        assert schedule.rate_at(99.0) == 200.0  # holds the last rate
+
+    def test_periodic_wraps(self):
+        schedule = RateSchedule([(0.0, 100.0), (1.0, 200.0)], period=2.0)
+        assert schedule.rate_at(2.5) == 100.0
+        assert schedule.rate_at(3.5) == 200.0
+
+    def test_mean_rate(self):
+        schedule = RateSchedule([(0.0, 100.0), (1.0, 300.0)], period=2.0)
+        assert schedule.mean_rate() == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateSchedule([])
+        with pytest.raises(ConfigurationError):
+            RateSchedule([(1.0, 100.0)])           # must start at 0
+        with pytest.raises(ConfigurationError):
+            RateSchedule([(0.0, 0.0)])             # rate must be > 0
+        with pytest.raises(ConfigurationError):
+            RateSchedule([(0.0, 1.0), (2.0, 1.0)], period=1.0)
+
+    def test_square_schedule(self):
+        schedule = square_schedule(low=100.0, high=300.0, period=1.0,
+                                   duty=0.5)
+        assert schedule.rate_at(0.25) == 300.0
+        assert schedule.rate_at(0.75) == 100.0
+        assert schedule.mean_rate() == pytest.approx(200.0)
+
+    def test_cellular_schedule_seeded(self):
+        a = cellular_schedule(seed=3)
+        b = cellular_schedule(seed=3)
+        c = cellular_schedule(seed=4)
+        assert a.rates == b.rates
+        assert a.rates != c.rates
+        # Mean within a factor of the requested mean.
+        assert 0.3 * 1.5e6 < a.mean_rate() < 3.0 * 1.5e6
+
+    def test_from_deliveries(self):
+        # 10 deliveries in the first 100 ms bucket, none in the second.
+        times = [i * 10.0 for i in range(10)]
+        schedule = rate_schedule_from_deliveries(times, bucket_ms=100.0)
+        assert schedule.rate_at(0.05) == pytest.approx(
+            10 * 1500 / 0.1)
+
+
+class TestVariableRateQueue:
+    def test_service_uses_current_rate(self):
+        sim = Simulator()
+        sink = Collector()
+        schedule = RateSchedule([(0.0, 1000.0), (1.0, 2000.0)])
+        queue = VariableRateQueue(sim, schedule)
+        queue.register_sink(0, sink)
+        queue.receive(Packet(0, 0, 1000, 0.0), 0.0)   # 1 s at 1000 B/s
+        sim.run_all()
+        assert sink.items[0][0] == pytest.approx(1.0)
+        sim.schedule_at(2.0, queue.receive, Packet(0, 1, 1000, 2.0), 2.0)
+        sim.run_all()
+        assert sink.items[1][0] == pytest.approx(2.5)  # 0.5 s at 2000
+
+    def test_droptail(self):
+        sim = Simulator()
+        sink = Collector()
+        queue = VariableRateQueue(sim, RateSchedule([(0.0, 1000.0)]),
+                                  buffer_bytes=1000.0)
+        queue.register_sink(0, sink)
+        for i in range(4):
+            queue.receive(Packet(0, i, 1000, 0.0), 0.0)
+        sim.run_all()
+        assert queue.drops == 2
+
+    def test_rate_property_is_mean(self):
+        sim = Simulator()
+        schedule = square_schedule(100.0, 300.0, 1.0)
+        queue = VariableRateQueue(sim, schedule)
+        assert queue.rate == pytest.approx(200.0)
+
+
+class TestVariableLinkScenarios:
+    def build(self, cca_factory, schedule, rm=units.ms(40),
+              buffer_bytes=None):
+        sim = Simulator()
+        sender = Sender(sim, 0, cca_factory())
+        receiver = Receiver(sim, 0)
+        queue = VariableRateQueue(sim, schedule,
+                                  buffer_bytes=buffer_bytes)
+        delay = DelayElement(sim, receiver, rm)
+        queue.register_sink(0, delay)
+        sender.attach_path(queue)
+        receiver.attach_ack_path(sender)
+        return sim, sender, receiver, queue
+
+    def test_bbr_tracks_varying_capacity(self):
+        schedule = square_schedule(low=units.mbps(6),
+                                   high=units.mbps(18), period=3.0)
+        sim, sender, receiver, queue = self.build(
+            lambda: BBR(seed=3), schedule)
+        sender.start()
+        sim.run(30.0)
+        mean_rate = schedule.mean_rate()
+        delivered_rate = sender.delivered_bytes / 30.0
+        assert delivered_rate > 0.6 * mean_rate
+
+    def test_vegas_survives_cellular_schedule(self):
+        schedule = cellular_schedule(mean_mbps=12.0, seed=5)
+        sim, sender, receiver, queue = self.build(Vegas, schedule)
+        sender.start()
+        sim.run(30.0)
+        delivered_rate = sender.delivered_bytes / 30.0
+        assert delivered_rate > 0.3 * schedule.mean_rate()
+
+    def test_cubic_on_variable_link_with_buffer(self):
+        schedule = square_schedule(low=units.mbps(6),
+                                   high=units.mbps(18), period=2.0)
+        sim, sender, receiver, queue = self.build(
+            Cubic, schedule, buffer_bytes=100 * 1500)
+        sender.start()
+        sim.run(30.0)
+        delivered_rate = sender.delivered_bytes / 30.0
+        assert delivered_rate > 0.5 * schedule.mean_rate()
+        assert queue.drops > 0   # droptail engaged on the low phases
