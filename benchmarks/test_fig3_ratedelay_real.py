@@ -15,6 +15,7 @@ import pytest
 
 from conftest import report
 from repro import units
+from repro.analysis.harness import RunBudget
 from repro.analysis.report import rate_delay_ascii
 from repro.analysis.sweep import sweep_rate_delay
 from repro.ccas import BBR, Copa, FastTCP, Vegas, Vivace
@@ -22,20 +23,28 @@ from repro.ccas import BBR, Copa, FastTCP, Vegas, Vivace
 RM = units.ms(50)
 GRID = [0.4, 2.0, 10.0, 50.0]   # Mbit/s, log-ish spacing
 
+# Resilient-harness budget: one divergent CCA run is recorded on the
+# curve instead of hanging the whole panel. The limits are far above
+# anything a healthy run needs (~1.5M events at 50 Mbit/s x 20 s).
+BUDGET = RunBudget(max_events=30_000_000, wall_clock=300.0, retries=1)
+
 
 def run_sweeps():
+    def sweep(factory, label, duration=None):
+        return sweep_rate_delay(factory, GRID, RM, label=label,
+                                duration=duration, budget=BUDGET)
+
     curves = {}
-    curves["Vegas"] = sweep_rate_delay(Vegas, GRID, RM, label="Vegas")
-    curves["FAST"] = sweep_rate_delay(FastTCP, GRID, RM, label="FAST")
+    curves["Vegas"] = sweep(Vegas, "Vegas")
+    curves["FAST"] = sweep(FastTCP, "FAST")
     # Copa's velocity mechanism hunts for several seconds at high BDP;
     # give it a longer settling run than the default.
-    curves["Copa"] = sweep_rate_delay(Copa, GRID, RM, label="Copa",
-                                      duration=30.0)
+    curves["Copa"] = sweep(Copa, "Copa", duration=30.0)
     # BBR's bandwidth probing recovers from a premature full-pipe
     # signal at ~25% per gain cycle; give it time to finish ramping.
-    curves["BBR"] = sweep_rate_delay(lambda: BBR(seed=3), GRID, RM,
-                                     label="BBR (pacing)", duration=20.0)
-    curves["Vivace"] = sweep_rate_delay(Vivace, GRID, RM, label="Vivace")
+    curves["BBR"] = sweep(lambda: BBR(seed=3), "BBR (pacing)",
+                          duration=20.0)
+    curves["Vivace"] = sweep(Vivace, "Vivace")
     return curves
 
 
@@ -46,6 +55,11 @@ def test_fig3_rate_delay_real_ccas(once):
         lines.append(rate_delay_ascii(curve))
         lines.append("")
     report("Figure 3: measured rate-delay curves (Rm = 50 ms)", lines)
+
+    # The harness must not have had to drop any grid point.
+    for name, curve in curves.items():
+        assert not curve.failures, (name, curve.failures)
+        assert len(curve.points) == len(GRID), name
 
     mss = 1500
 

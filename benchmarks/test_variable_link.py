@@ -12,6 +12,7 @@ drops (queue spikes) as congestion.
 
 from conftest import report
 from repro import units
+from repro.analysis.harness import ResilientSweep, RunBudget
 from repro.ccas import BBR, Copa, Cubic, Vegas
 from repro.sim.engine import Simulator
 from repro.sim.host import Receiver, Sender
@@ -21,8 +22,12 @@ from repro.sim.varlink import VariableRateQueue, cellular_schedule
 RM = units.ms(40)
 DURATION = 30.0
 
+CCA_FACTORIES = {"Vegas": Vegas, "Copa": Copa,
+                 "BBR": lambda: BBR(seed=3), "Cubic": Cubic}
 
-def run_variable(cca_factory, seed=5):
+
+def run_variable(cca_factory, seed=5, max_events=None,
+                 wall_clock_budget=None):
     schedule = cellular_schedule(mean_mbps=12.0, period=2.0, spread=0.8,
                                  seed=seed)
     sim = Simulator()
@@ -35,23 +40,35 @@ def run_variable(cca_factory, seed=5):
     sender.attach_path(queue)
     receiver.attach_ack_path(sender)
     sender.start()
-    sim.run(DURATION)
+    sim.run(DURATION, max_events=max_events,
+            wall_clock_budget=wall_clock_budget)
     delivered_rate = sender.delivered_bytes / DURATION
     return delivered_rate / schedule.mean_rate(), sender
 
 
 def generate():
-    results = {}
-    for name, factory in [("Vegas", Vegas), ("Copa", Copa),
-                          ("BBR", lambda: BBR(seed=3)),
-                          ("Cubic", Cubic)]:
-        utilization, sender = run_variable(factory)
-        results[name] = (utilization, sender.losses_detected)
-    return results
+    # Run the CCA panel on the resilient harness: one divergent CCA
+    # surfaces as a recorded failure, not a hung/aborted bench.
+    def run_point(params, budget):
+        utilization, sender = run_variable(
+            CCA_FACTORIES[params["cca"]],
+            max_events=budget.max_events,
+            wall_clock_budget=budget.wall_clock)
+        return {"utilization": utilization,
+                "losses": sender.losses_detected}
+
+    sweep = ResilientSweep(run_point,
+                           budget=RunBudget(max_events=10_000_000,
+                                            wall_clock=120.0, retries=1))
+    outcome = sweep.run([(name, {"cca": name}) for name in CCA_FACTORIES])
+    return outcome
 
 
 def test_variable_link_panel(once):
-    results = once(generate)
+    outcome = once(generate)
+    assert not outcome.failures, outcome.failures
+    results = {name: (r["utilization"], r["losses"])
+               for name, r in outcome.completed.items()}
     lines = ["cellular-like link (mean 12 Mbit/s, 2 s period, seeded):",
              "CCA     utilization  losses"]
     for name, (util, losses) in results.items():

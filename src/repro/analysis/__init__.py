@@ -1,5 +1,7 @@
-"""Analysis utilities: metrics, sweeps, scenario library, reporting."""
+"""Analysis utilities: metrics, sweeps, harness, scenario library."""
 
+from .harness import (ResilientSweep, RunBudget, RunFailure, SweepOutcome,
+                      describe_failures, run_with_retry)
 from .metrics import (loss_rate, mean_rtt_ms, queueing_delay_ms,
                       summarize_run, throughputs_mbps, utilization)
 from .report import (comparison_line, describe_run, flow_table,
@@ -9,9 +11,11 @@ from .sweep import (RateDelayCurve, RateDelayPoint, log_rate_grid,
 from .traces import export_run_tsv, flow_arrays, queue_arrays, write_tsv
 
 __all__ = [
-    "RateDelayCurve", "RateDelayPoint", "comparison_line", "describe_run",
-    "flow_table", "format_table", "log_rate_grid", "loss_rate",
-    "mean_rtt_ms", "queueing_delay_ms", "rate_delay_ascii",
-    "export_run_tsv", "flow_arrays", "queue_arrays", "summarize_run",
-    "sweep_rate_delay", "throughputs_mbps", "utilization", "write_tsv",
+    "RateDelayCurve", "RateDelayPoint", "ResilientSweep", "RunBudget",
+    "RunFailure", "SweepOutcome", "comparison_line", "describe_failures",
+    "describe_run", "flow_table", "format_table", "log_rate_grid",
+    "loss_rate", "mean_rtt_ms", "queueing_delay_ms", "rate_delay_ascii",
+    "export_run_tsv", "flow_arrays", "queue_arrays", "run_with_retry",
+    "summarize_run", "sweep_rate_delay", "throughputs_mbps", "utilization",
+    "write_tsv",
 ]

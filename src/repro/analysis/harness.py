@@ -1,0 +1,314 @@
+"""Resilient experiment harness: watchdogs, retries, checkpointed sweeps.
+
+Every sweep in this repo used to run unsupervised: one divergent CCA run
+(livelocked event loop, runaway queue) aborted an entire grid with no
+partial results. This module supplies the missing robustness layer:
+
+* :class:`RunBudget` — per-run event-count and wall-clock budgets,
+  enforced by the engine watchdog (:class:`~repro.errors.
+  BudgetExceededError`).
+* :func:`run_with_retry` — bounded retries with parameter back-off for
+  flaky or budget-limited runs.
+* :class:`ResilientSweep` — grid execution with graceful degradation
+  (a failed point becomes a structured :class:`RunFailure` instead of
+  aborting the sweep) and JSON checkpointing so interrupted sweeps
+  resume from the last completed point.
+
+The harness is deliberately generic: a "grid point" is any
+JSON-serializable key plus a run callable returning a
+JSON-serializable result, so packet sweeps, fluid-model sweeps, and
+benchmark panels all fit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
+
+from ..errors import BudgetExceededError, ReproError
+
+
+@dataclass
+class RunBudget:
+    """Watchdog limits for one experiment run.
+
+    Args:
+        max_events: engine events allowed per run (None = unlimited).
+        wall_clock: real seconds allowed per run (None = unlimited).
+        retries: additional attempts after the first failure.
+        backoff: multiplier applied to both budgets on each retry, so a
+            run that merely needed more headroom gets it (a genuinely
+            livelocked run still fails, just a bit later).
+    """
+
+    max_events: Optional[int] = 20_000_000
+    wall_clock: Optional[float] = 60.0
+    retries: int = 1
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events <= 0:
+            raise ValueError(f"max_events must be > 0, got {self.max_events}")
+        if self.wall_clock is not None and self.wall_clock <= 0:
+            raise ValueError(f"wall_clock must be > 0, got {self.wall_clock}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+
+    def scaled(self, attempt: int) -> "RunBudget":
+        """The budget for the given 0-based attempt (back-off applied)."""
+        factor = self.backoff ** attempt
+        return RunBudget(
+            max_events=None if self.max_events is None
+            else int(self.max_events * factor),
+            wall_clock=None if self.wall_clock is None
+            else self.wall_clock * factor,
+            retries=self.retries, backoff=self.backoff)
+
+
+@dataclass
+class RunFailure:
+    """A machine-readable record of one failed grid point."""
+
+    key: str
+    reason: str                  # exception class name, e.g. "BudgetExceededError"
+    message: str
+    attempts: int
+    elapsed: float               # wall-clock seconds spent across attempts
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"key": self.key, "reason": self.reason,
+                "message": self.message, "attempts": self.attempts,
+                "elapsed": self.elapsed, "params": self.params}
+
+    @staticmethod
+    def from_json(data: Dict[str, Any]) -> "RunFailure":
+        return RunFailure(key=data["key"], reason=data["reason"],
+                          message=data["message"],
+                          attempts=data["attempts"],
+                          elapsed=data["elapsed"],
+                          params=data.get("params", {}))
+
+
+#: Exceptions a run may raise that the harness degrades gracefully on.
+#: Anything else (e.g. a TypeError from a bad experiment script) is a
+#: programming error and propagates immediately.
+RECOVERABLE = (ReproError, ArithmeticError, MemoryError, RecursionError)
+
+
+def run_with_retry(fn: Callable[..., Any],
+                   budget: Optional[RunBudget] = None,
+                   on_retry: Optional[Callable[[int, BaseException],
+                                               None]] = None) -> Any:
+    """Call ``fn(budget=...)`` with bounded retries and budget back-off.
+
+    ``fn`` receives the attempt's (scaled) :class:`RunBudget` as a
+    keyword argument and should pass its limits into the run (e.g.
+    ``run_scenario_full(..., max_events=budget.max_events,
+    wall_clock_budget=budget.wall_clock)``). On a recoverable failure
+    the call is retried up to ``budget.retries`` times, with both
+    budgets multiplied by ``budget.backoff`` each attempt; the last
+    failure propagates.
+
+    ``on_retry(attempt, exc)`` is invoked before each retry — use it to
+    back off *parameters* too (shorter duration, coarser sampling).
+    """
+    budget = budget or RunBudget()
+    last_exc: Optional[BaseException] = None
+    for attempt in range(budget.retries + 1):
+        try:
+            return fn(budget=budget.scaled(attempt))
+        except RECOVERABLE as exc:
+            last_exc = exc
+            if attempt < budget.retries and on_retry is not None:
+                on_retry(attempt, exc)
+    assert last_exc is not None
+    raise last_exc
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a resilient sweep produced.
+
+    ``completed`` maps point keys to run results (in grid order);
+    ``failures`` holds one :class:`RunFailure` per divergent point;
+    ``resumed`` counts points skipped because a checkpoint already had
+    them.
+    """
+
+    completed: Dict[str, Any]
+    failures: List[RunFailure]
+    resumed: int = 0
+
+    @property
+    def failed_keys(self) -> List[str]:
+        return [f.key for f in self.failures]
+
+    def result_for(self, key: str) -> Optional[Any]:
+        return self.completed.get(key)
+
+
+class ResilientSweep:
+    """Run a grid of experiments with watchdogs, retries, checkpoints.
+
+    Args:
+        run_point: ``run_point(params, budget)`` executes one grid point
+            and returns a JSON-serializable result. It should forward
+            ``budget.max_events``/``budget.wall_clock`` into the
+            simulator so the watchdog can fire.
+        budget: per-point :class:`RunBudget` (default: a generous one).
+        checkpoint_path: JSON file for incremental progress. Written
+            atomically after *every* point; on the next invocation,
+            completed and failed points found there are skipped, so an
+            interrupted sweep resumes where it stopped. None disables
+            checkpointing.
+        retry_failures_on_resume: when True, points recorded as
+            failures in the checkpoint are attempted again on resume
+            (completed points are never re-run).
+
+    Example::
+
+        sweep = ResilientSweep(run_point, checkpoint_path="sweep.json")
+        outcome = sweep.run([("2mbps", {"rate": 2.0}),
+                             ("50mbps", {"rate": 50.0})])
+        outcome.completed   # {"2mbps": {...}, "50mbps": {...}}
+        outcome.failures    # [RunFailure(...)] for divergent points
+    """
+
+    CHECKPOINT_VERSION = 1
+
+    def __init__(self, run_point: Callable[[Dict[str, Any], RunBudget],
+                                           Any],
+                 budget: Optional[RunBudget] = None,
+                 checkpoint_path: Optional[str] = None,
+                 retry_failures_on_resume: bool = False,
+                 progress: Optional[Callable[[str, str], None]] = None
+                 ) -> None:
+        self.run_point = run_point
+        self.budget = budget or RunBudget()
+        self.checkpoint_path = checkpoint_path
+        self.retry_failures_on_resume = retry_failures_on_resume
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def load_checkpoint(self) -> Tuple[Dict[str, Any], List[RunFailure]]:
+        """Read prior progress; tolerates a missing or corrupt file."""
+        if self.checkpoint_path is None:
+            return {}, []
+        try:
+            with open(self.checkpoint_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {}, []
+        if data.get("version") != self.CHECKPOINT_VERSION:
+            return {}, []
+        completed = dict(data.get("completed", {}))
+        failures = [RunFailure.from_json(f)
+                    for f in data.get("failures", [])]
+        return completed, failures
+
+    def _write_checkpoint(self, completed: Dict[str, Any],
+                          failures: List[RunFailure]) -> None:
+        if self.checkpoint_path is None:
+            return
+        payload = {
+            "version": self.CHECKPOINT_VERSION,
+            "completed": completed,
+            "failures": [f.to_json() for f in failures],
+        }
+        # Atomic replace so a kill mid-write can't corrupt progress.
+        directory = os.path.dirname(os.path.abspath(self.checkpoint_path))
+        fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                        prefix=".checkpoint-",
+                                        suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1)
+            os.replace(tmp_path, self.checkpoint_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, points: Sequence[Tuple[str, Dict[str, Any]]]
+            ) -> SweepOutcome:
+        """Execute every grid point, degrading gracefully on failures."""
+        keys = [key for key, _ in points]
+        if len(set(keys)) != len(keys):
+            raise ValueError("grid point keys must be unique")
+        completed, failures = self.load_checkpoint()
+        if self.retry_failures_on_resume:
+            failures = []
+        failed_keys = {f.key for f in failures}
+        resumed = 0
+        for key, params in points:
+            if key in completed or key in failed_keys:
+                resumed += 1
+                continue
+            self._note(key, "run")
+            start = time.monotonic()
+            attempts = 0
+
+            def attempt(budget: RunBudget) -> Any:
+                nonlocal attempts
+                attempts += 1
+                return self.run_point(params, budget)
+
+            try:
+                result = run_with_retry(attempt, self.budget)
+            except RECOVERABLE as exc:
+                failure = RunFailure(
+                    key=key, reason=type(exc).__name__,
+                    message=_first_line(exc), attempts=attempts,
+                    elapsed=time.monotonic() - start, params=params)
+                failures.append(failure)
+                failed_keys.add(key)
+                self._note(key, f"failed: {failure.reason}")
+            else:
+                completed[key] = result
+                self._note(key, "ok")
+            self._write_checkpoint(completed, failures)
+        return SweepOutcome(completed=completed, failures=failures,
+                            resumed=resumed)
+
+    def _note(self, key: str, status: str) -> None:
+        if self.progress is not None:
+            self.progress(key, status)
+
+
+def _first_line(exc: BaseException) -> str:
+    text = str(exc) or type(exc).__name__
+    return text.splitlines()[0]
+
+
+def describe_failures(failures: Sequence[RunFailure]) -> str:
+    """A compact human-readable failure table for reports/logs."""
+    if not failures:
+        return "no failures"
+    lines = ["key                  reason                 attempts  detail"]
+    for f in failures:
+        lines.append(f"{f.key:20.20s} {f.reason:22.22s} "
+                     f"{f.attempts:8d}  {f.message:.60s}")
+    return "\n".join(lines)
+
+
+def format_traceback(exc: BaseException) -> str:
+    """Full traceback text for verbose failure logging."""
+    return "".join(traceback.format_exception(type(exc), exc,
+                                              exc.__traceback__))

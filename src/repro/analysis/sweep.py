@@ -4,17 +4,22 @@ For each link rate, run a single flow of the CCA on an ideal path in the
 packet simulator, discard the pre-convergence prefix, and record the
 observed RTT range. The result is the shaded region of the paper's
 Figure 3 — d_min(C) and d_max(C) as functions of C for a fixed Rm.
+
+Sweeps run on the resilient harness (:mod:`repro.analysis.harness`): a
+divergent grid point is recorded as a :class:`RunFailure` on the
+returned curve instead of aborting the sweep, and an optional JSON
+checkpoint lets interrupted sweeps resume from the last completed rate.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import units
 from ..sim.network import FlowConfig, LinkConfig
 from ..sim.runner import run_scenario_full
+from .harness import ResilientSweep, RunBudget, RunFailure
 
 
 @dataclass
@@ -42,6 +47,8 @@ class RateDelayCurve:
     label: str
     rm: float
     points: List[RateDelayPoint]
+    #: Grid points that diverged and were skipped (see harness docs).
+    failures: List[RunFailure] = field(default_factory=list)
 
     def delta_max(self) -> float:
         return max(p.delta for p in self.points)
@@ -50,12 +57,27 @@ class RateDelayCurve:
         return min(p.utilization for p in self.points)
 
 
+def default_run_time(rate: float, rm: float, mss: int) -> float:
+    """Per-point run length scaled to the expected convergence time.
+
+    Low rates need longer runs: each cwnd adjustment takes an RTT and
+    RTTs are dominated by transmission time at low C.
+    """
+    packet_time = mss / rate
+    run_time = max(30 * rm, 400 * packet_time, 5.0)
+    return min(run_time, 120.0)
+
+
 def sweep_rate_delay(cca_factory: Callable[[], object],
                      link_rates_mbps: Sequence[float], rm: float,
                      label: str = "",
                      duration: Optional[float] = None,
                      warmup_fraction: float = 0.5,
-                     mss: int = 1500) -> RateDelayCurve:
+                     mss: int = 1500,
+                     budget: Optional[RunBudget] = None,
+                     checkpoint_path: Optional[str] = None,
+                     retry_failures: bool = False
+                     ) -> RateDelayCurve:
     """Measure the equilibrium RTT range across link rates.
 
     Args:
@@ -64,30 +86,42 @@ def sweep_rate_delay(cca_factory: Callable[[], object],
             0.1 .. 100).
         rm: propagation RTT (the paper's Figure 3 uses 100 ms).
         duration: per-point run length; default scales with the expected
-            convergence time (longer at low rates, where one packet takes
-            longer and control steps are slower).
+            convergence time (see :func:`default_run_time`).
         warmup_fraction: fraction of the run discarded as transient.
+        budget: per-point watchdog/retry budget; a point that exceeds it
+            lands in ``curve.failures`` instead of hanging the sweep.
+        checkpoint_path: JSON checkpoint file; completed rates are
+            skipped when the sweep is re-invoked after an interruption.
+        retry_failures: when resuming from a checkpoint, re-run rates
+            previously recorded as failed (e.g. after raising the
+            budget) instead of keeping their failure records.
     """
-    points: List[RateDelayPoint] = []
-    for rate_mbps in link_rates_mbps:
-        rate = units.mbps(rate_mbps)
-        # Low rates need longer runs: each cwnd adjustment takes an RTT
-        # and RTTs are dominated by transmission time at low C.
+    def run_point(params: Dict[str, object], point_budget: RunBudget
+                  ) -> Dict[str, float]:
+        rate = units.mbps(float(params["rate_mbps"]))
         run_time = duration
         if run_time is None:
-            packet_time = mss / rate
-            run_time = max(30 * rm, 400 * packet_time, 5.0)
-            run_time = min(run_time, 120.0)
+            run_time = default_run_time(rate, rm, mss)
         result = run_scenario_full(
             LinkConfig(rate=rate),
             [FlowConfig(cca_factory=cca_factory, rm=rm, mss=mss)],
-            duration=run_time, warmup=run_time * warmup_fraction)
+            duration=run_time, warmup=run_time * warmup_fraction,
+            max_events=point_budget.max_events,
+            wall_clock_budget=point_budget.wall_clock)
         stats = result.stats[0]
-        points.append(RateDelayPoint(link_rate=rate,
-                                     d_min=stats.min_rtt,
-                                     d_max=stats.max_rtt,
-                                     throughput=stats.throughput))
-    return RateDelayCurve(label=label, rm=rm, points=points)
+        return {"link_rate": rate, "d_min": stats.min_rtt,
+                "d_max": stats.max_rtt, "throughput": stats.throughput}
+
+    sweep = ResilientSweep(run_point, budget=budget,
+                           checkpoint_path=checkpoint_path,
+                           retry_failures_on_resume=retry_failures)
+    grid = [(f"{rate_mbps:g}mbps", {"rate_mbps": float(rate_mbps)})
+            for rate_mbps in link_rates_mbps]
+    outcome = sweep.run(grid)
+    points = [RateDelayPoint(**outcome.completed[key])
+              for key, _ in grid if key in outcome.completed]
+    return RateDelayCurve(label=label, rm=rm, points=points,
+                          failures=list(outcome.failures))
 
 
 def log_rate_grid(lo_mbps: float = 0.1, hi_mbps: float = 100.0,
@@ -96,4 +130,8 @@ def log_rate_grid(lo_mbps: float = 0.1, hi_mbps: float = 100.0,
     if lo_mbps <= 0 or hi_mbps <= lo_mbps or points < 2:
         raise ValueError("invalid grid parameters")
     step = (hi_mbps / lo_mbps) ** (1.0 / (points - 1))
-    return [lo_mbps * step ** i for i in range(points)]
+    grid = [min(lo_mbps * step ** i, hi_mbps) for i in range(points)]
+    # Floating-point step accumulation can land the last point a hair
+    # off hi_mbps on either side; pin it exactly.
+    grid[-1] = hi_mbps
+    return grid

@@ -4,11 +4,15 @@ Installed as the ``repro`` console script::
 
     repro run --rate 48 --rm 40 --cca vegas --cca vegas --duration 20
     repro run --rate 120 --rm 59 --cca copa:poison --cca copa:jitter1
+    repro run --rate 48 --rm 40 --cca bbr:blackout5-7 --cca bbr
+    repro run --rate 48 --rm 40 --cca reno --cca reno --link-ge 0.02
     repro sweep --cca bbr --rates 0.4,2,10,50 --rm 50
+    repro sweep --cca bbr --rates 0.4,2,10,50 --checkpoint sweep.json
     repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
     repro theorem 1|2|3
 
-Every command prints an ASCII report; nothing is written to disk.
+Every command prints an ASCII report; nothing is written to disk unless
+``--checkpoint`` asks for resumable sweep progress.
 """
 
 from __future__ import annotations
@@ -18,12 +22,14 @@ import sys
 from typing import List, Optional
 
 from . import units
+from .errors import ConfigurationError
+from .analysis.harness import RunBudget, describe_failures
 from .analysis.report import describe_run, rate_delay_ascii
 from .analysis.sweep import sweep_rate_delay
 from .analysis import starvation
 from .ccas import (BBR, Allegro, Copa, Cubic, DelayAimd, EcnAimd, FastTCP,
                    JitterAware, Ledbat, NewReno, Vegas, Vivace)
-from .sim import FlowConfig, LinkConfig, run_scenario_full
+from .sim import FaultSchedule, FlowConfig, LinkConfig, run_scenario_full
 from .sim.jitter import (AckAggregationJitter, ConstantJitter,
                          ExemptFirstJitter)
 
@@ -54,49 +60,118 @@ STARVE_SCENARIOS = {
 }
 
 
-def parse_flow_spec(spec: str, rm: float) -> FlowConfig:
-    """Parse ``cca[:modifier]`` into a FlowConfig.
+def _parse_window(text: str, what: str) -> tuple:
+    """Parse ``START-END`` (seconds) into a (start, end) float pair."""
+    start, sep, end = text.partition("-")
+    try:
+        if not sep:
+            raise ValueError(text)
+        return float(start), float(end)
+    except ValueError:
+        raise SystemExit(
+            f"{what} wants START-END in seconds, got {text!r}")
 
-    Modifiers: ``poison`` (min-RTT poisoning, 1 ms), ``poisonN`` (N ms),
-    ``jitterN`` (constant N ms), ``aggN`` (ACK aggregation, N ms),
-    ``delackN`` (delayed ACKs of N packets).
+
+def parse_flow_spec(spec: str, rm: float,
+                    fault_seed: int = 0) -> FlowConfig:
+    """Parse ``cca[:modifier[:modifier...]]`` into a FlowConfig.
+
+    ACK-path modifiers: ``poison`` (min-RTT poisoning, 1 ms),
+    ``poisonN`` (N ms), ``jitterN`` (constant N ms), ``aggN`` (ACK
+    aggregation, N ms), ``delackN`` (delayed ACKs of N packets).
+
+    Data-path fault modifiers (see :mod:`repro.sim.faults`):
+    ``geP`` (Gilbert-Elliott bursty loss, mean rate P),
+    ``blackoutA-B`` (outage from A to B seconds),
+    ``flapP-D`` (flapping: every P seconds the link is down for D),
+    ``reorderP`` (delay-swap reordering with probability P),
+    ``dupP`` (duplication with probability P),
+    ``corruptP`` (corruption-drop with probability P).
     """
-    name, _, modifier = spec.partition(":")
+    name, _, rest = spec.partition(":")
     if name not in CCA_FACTORIES:
         raise SystemExit(
             f"unknown CCA {name!r}; choose from "
             f"{', '.join(sorted(CCA_FACTORIES))}")
     config = dict(cca_factory=CCA_FACTORIES[name], rm=rm, label=spec)
-    if modifier:
-        if modifier.startswith("poison"):
-            amount = units.ms(float(modifier[6:] or 1.0))
-            config["ack_elements"] = [
-                lambda sim, sink, a=amount: ExemptFirstJitter(
-                    sim, sink, a, exempt_seqs=[0])]
-        elif modifier.startswith("jitter"):
-            amount = units.ms(float(modifier[6:]))
-            config["ack_elements"] = [
-                lambda sim, sink, a=amount: ConstantJitter(sim, sink, a)]
-        elif modifier.startswith("agg"):
-            amount = units.ms(float(modifier[3:]))
-            config["ack_elements"] = [
-                lambda sim, sink, a=amount: AckAggregationJitter(
-                    sim, sink, a)]
-        elif modifier.startswith("delack"):
-            config["ack_every"] = int(modifier[6:])
-            config["ack_timeout"] = units.ms(200)
-        else:
-            raise SystemExit(f"unknown flow modifier {modifier!r}")
+    ack_elements: list = []
+    faults = FaultSchedule(seed=fault_seed)
+    horizon = float("inf")  # always-on faults use an unbounded window
+    for modifier in (m for m in rest.split(":") if m):
+        # ValueError (bad number) and ConfigurationError (bad window /
+        # probability) become clean CLI errors, not tracebacks.
+        # SystemExit from _parse_window passes through untouched.
+        try:
+            if modifier.startswith("poison"):
+                amount = units.ms(float(modifier[6:] or 1.0))
+                ack_elements.append(
+                    lambda sim, sink, a=amount: ExemptFirstJitter(
+                        sim, sink, a, exempt_seqs=[0]))
+            elif modifier.startswith("jitter"):
+                amount = units.ms(float(modifier[6:]))
+                ack_elements.append(
+                    lambda sim, sink, a=amount: ConstantJitter(
+                        sim, sink, a))
+            elif modifier.startswith("agg"):
+                amount = units.ms(float(modifier[3:]))
+                ack_elements.append(
+                    lambda sim, sink, a=amount: AckAggregationJitter(
+                        sim, sink, a))
+            elif modifier.startswith("delack"):
+                config["ack_every"] = int(modifier[6:])
+                config["ack_timeout"] = units.ms(200)
+            elif modifier.startswith("ge"):
+                faults.gilbert_elliott(0.0, horizon,
+                                       mean_loss=float(modifier[2:]))
+            elif modifier.startswith("blackout"):
+                start, end = _parse_window(modifier[8:], "blackout")
+                faults.blackout(start, end)
+            elif modifier.startswith("flap"):
+                period, down = _parse_window(modifier[4:], "flap")
+                faults.flap(0.0, horizon, period=period, down_time=down)
+            elif modifier.startswith("reorder"):
+                faults.reorder(0.0, horizon, prob=float(modifier[7:]),
+                               extra_delay=units.ms(10))
+            elif modifier.startswith("dup"):
+                faults.duplicate(0.0, horizon, prob=float(modifier[3:]))
+            elif modifier.startswith("corrupt"):
+                faults.corrupt(0.0, horizon, prob=float(modifier[7:]))
+            else:
+                raise SystemExit(f"unknown flow modifier {modifier!r}")
+        except (ValueError, ConfigurationError) as exc:
+            raise SystemExit(f"bad flow modifier {modifier!r}: {exc}")
+    if ack_elements:
+        config["ack_elements"] = ack_elements
+    if faults.windows:
+        config["fault_schedule"] = faults
     return FlowConfig(**config)
+
+
+def parse_link_faults(args: argparse.Namespace) -> Optional[FaultSchedule]:
+    """Assemble the shared-bottleneck FaultSchedule from CLI flags."""
+    faults = FaultSchedule(seed=args.fault_seed)
+    horizon = float("inf")
+    for window in args.link_blackout or ():
+        start, end = _parse_window(window, "--link-blackout")
+        faults.blackout(start, end)
+    if args.link_flap:
+        period, down = _parse_window(args.link_flap, "--link-flap")
+        faults.flap(0.0, horizon, period=period, down_time=down)
+    if args.link_ge:
+        faults.gilbert_elliott(0.0, horizon, mean_loss=args.link_ge)
+    return faults if faults.windows else None
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     rm = units.ms(args.rm)
-    flows = [parse_flow_spec(spec, rm) for spec in args.cca]
+    flows = [parse_flow_spec(spec, rm, fault_seed=args.fault_seed + i)
+             for i, spec in enumerate(args.cca)]
     buffer_bdp = args.buffer_bdp if args.buffer_bdp else None
-    link = LinkConfig(rate=units.mbps(args.rate), buffer_bdp=buffer_bdp)
+    link = LinkConfig(rate=units.mbps(args.rate), buffer_bdp=buffer_bdp,
+                      fault_schedule=parse_link_faults(args))
     result = run_scenario_full(link, flows, duration=args.duration,
-                               warmup=args.duration / 3)
+                               warmup=args.duration / 3,
+                               max_events=args.max_events)
     print(describe_run(
         f"{args.rate} Mbit/s, Rm = {args.rm} ms, "
         f"{args.duration:.0f} s", result))
@@ -109,10 +184,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     grid = [float(x) for x in args.rates.split(",")]
     curve = sweep_rate_delay(CCA_FACTORIES[args.cca], grid,
                              units.ms(args.rm), label=args.cca,
-                             duration=args.duration)
+                             duration=args.duration,
+                             budget=RunBudget(max_events=args.max_events,
+                                              wall_clock=args.wall_clock),
+                             checkpoint_path=args.checkpoint,
+                             retry_failures=args.retry_failures)
+    if not curve.points:
+        print("every grid point failed:")
+        print(describe_failures(curve.failures))
+        return 1
     print(rate_delay_ascii(curve))
     print(f"delta_max = {curve.delta_max() * 1e3:.2f} ms -> starvation "
           f"possible when jitter D > {2 * curve.delta_max() * 1e3:.2f} ms")
+    if curve.failures:
+        print(f"{len(curve.failures)} grid point(s) failed:")
+        print(describe_failures(curve.failures))
     return 0
 
 
@@ -190,6 +276,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--buffer-bdp", type=float, default=4.0,
         help="droptail buffer as a multiple of the BDP (default 4; "
              "pass 0 for an unbounded buffer)")
+    run_parser.add_argument(
+        "--link-blackout", action="append", metavar="START-END",
+        help="shared-bottleneck outage window in seconds; repeatable")
+    run_parser.add_argument(
+        "--link-flap", metavar="PERIOD-DOWN",
+        help="flap the bottleneck: every PERIOD s, down for DOWN s")
+    run_parser.add_argument(
+        "--link-ge", type=float, metavar="LOSS",
+        help="Gilbert-Elliott bursty loss on the bottleneck, mean rate")
+    run_parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for stochastic fault elements (default 0)")
+    run_parser.add_argument(
+        "--max-events", type=int, default=None,
+        help="abort the run after this many engine events (watchdog)")
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = sub.add_parser("sweep",
@@ -198,6 +299,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--rates", default="0.4,2,10,50")
     sweep_parser.add_argument("--rm", type=float, default=50.0)
     sweep_parser.add_argument("--duration", type=float, default=None)
+    sweep_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="JSON checkpoint; re-invoking resumes completed points")
+    sweep_parser.add_argument(
+        "--max-events", type=int, default=20_000_000,
+        help="per-point event budget (watchdog; default 20M)")
+    sweep_parser.add_argument(
+        "--wall-clock", type=float, default=120.0,
+        help="per-point wall-clock budget in seconds (default 120)")
+    sweep_parser.add_argument(
+        "--retry-failures", action="store_true",
+        help="re-run checkpointed failed points (e.g. after raising "
+             "--max-events) instead of keeping their failure records")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     starve_parser = sub.add_parser(

@@ -19,6 +19,30 @@ class SimulationError(ReproError):
     """The simulator reached an internally inconsistent state."""
 
 
+class BudgetExceededError(SimulationError):
+    """A watchdog budget (events, simulated time, or wall clock) ran out.
+
+    Raised by :meth:`repro.sim.engine.Simulator.run` when a run exceeds
+    its event-count or wall-clock budget — typically a livelocked CCA
+    event loop or a runaway queue. The resilient sweep harness catches
+    this and records the grid point as a failure instead of hanging.
+
+    Attributes:
+        kind: which budget ran out ("events" or "wall_clock").
+        limit: the configured budget.
+        value: the measured consumption when the watchdog fired.
+        sim_time: simulation clock when the watchdog fired.
+    """
+
+    def __init__(self, message: str, kind: str, limit: float,
+                 value: float, sim_time: float | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.limit = limit
+        self.value = value
+        self.sim_time = sim_time
+
+
 class EmulationInfeasibleError(ReproError):
     """The Theorem 1 delay-emulation constraints cannot be satisfied.
 

@@ -6,6 +6,9 @@ per-flow bounded non-congestive jitter elements that never reorder.
 """
 
 from .engine import Event, Simulator
+from .faults import (BlackoutElement, CorruptionElement, DuplicateElement,
+                     FaultSchedule, FaultWindow, GilbertElliottLossElement,
+                     LinkFlapElement, ReorderElement)
 from .host import Receiver, Sender
 from .network import FlowConfig, LinkConfig, Scenario, build_dumbbell
 from .packet import Ack, AckInfo, Packet
@@ -13,7 +16,10 @@ from .queue import BottleneckQueue
 from .runner import FlowStats, RunResult, run_scenario, run_scenario_full
 
 __all__ = [
-    "Ack", "AckInfo", "BottleneckQueue", "Event", "FlowConfig", "FlowStats",
-    "LinkConfig", "Packet", "Receiver", "RunResult", "Scenario", "Sender",
-    "Simulator", "build_dumbbell", "run_scenario", "run_scenario_full",
+    "Ack", "AckInfo", "BlackoutElement", "BottleneckQueue",
+    "CorruptionElement", "DuplicateElement", "Event", "FaultSchedule",
+    "FaultWindow", "FlowConfig", "FlowStats", "GilbertElliottLossElement",
+    "LinkConfig", "LinkFlapElement", "Packet", "Receiver", "ReorderElement",
+    "RunResult", "Scenario", "Sender", "Simulator", "build_dumbbell",
+    "run_scenario", "run_scenario_full",
 ]

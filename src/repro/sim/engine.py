@@ -14,9 +14,15 @@ through the simulator.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, List, Optional
 
-from ..errors import SimulationError
+from ..errors import BudgetExceededError, SimulationError
+
+#: How many events to execute between wall-clock watchdog checks.
+#: ``time.monotonic`` is cheap but not free; checking every event would
+#: cost a few percent on the hot loop for no added safety.
+_WALL_CHECK_INTERVAL = 512
 
 
 class Event:
@@ -105,17 +111,52 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: float) -> None:
+    def run(self, until: float, max_events: Optional[int] = None,
+            wall_clock_budget: Optional[float] = None) -> None:
         """Run events in order until the clock reaches ``until``.
 
         The clock is advanced to exactly ``until`` at the end even if the
         event queue drains earlier, so periodic samplers see a full window.
+
+        Watchdog budgets (both optional) guard against divergent runs:
+
+        Args:
+            max_events: abort with :class:`BudgetExceededError` after this
+                many events are executed *within this call* (a livelocked
+                component scheduling itself at zero delay never advances
+                the clock, so a time horizon alone cannot stop it).
+            wall_clock_budget: abort with :class:`BudgetExceededError`
+                after this many real seconds (checked every
+                ``_WALL_CHECK_INTERVAL`` events, so very cheap).
         """
+        events_at_entry = self._events_processed
+        wall_start = time.monotonic() if wall_clock_budget is not None \
+            else 0.0
         while True:
             next_time = self.peek_time()
             if next_time is None or next_time > until:
                 break
             self.step()
+            if max_events is not None:
+                executed = self._events_processed - events_at_entry
+                if executed >= max_events:
+                    raise BudgetExceededError(
+                        f"run exceeded event budget of {max_events} "
+                        f"events at t={self.now:.6f}s (horizon "
+                        f"{until}s); likely a livelocked component",
+                        kind="events", limit=max_events, value=executed,
+                        sim_time=self.now)
+            if (wall_clock_budget is not None
+                    and (self._events_processed - events_at_entry)
+                    % _WALL_CHECK_INTERVAL == 0):
+                elapsed = time.monotonic() - wall_start
+                if elapsed > wall_clock_budget:
+                    raise BudgetExceededError(
+                        f"run exceeded wall-clock budget of "
+                        f"{wall_clock_budget:.1f}s after {elapsed:.1f}s "
+                        f"at t={self.now:.6f}s (horizon {until}s)",
+                        kind="wall_clock", limit=wall_clock_budget,
+                        value=elapsed, sim_time=self.now)
         if self.now < until:
             self.now = until
 
@@ -125,5 +166,7 @@ class Simulator:
         while self.step():
             count += 1
             if count > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; likely a runaway loop")
+                raise BudgetExceededError(
+                    f"exceeded {max_events} events; likely a runaway loop",
+                    kind="events", limit=max_events, value=count,
+                    sim_time=self.now)

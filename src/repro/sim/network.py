@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from .engine import Simulator
+from .faults import FaultSchedule
 from .host import Receiver, Sender
 from .path import DelayElement, ElementFactory, chain
 from .queue import BottleneckQueue
@@ -30,6 +31,9 @@ class LinkConfig:
         buffer_bdp: alternative capacity spec as a multiple of the BDP of
             the *first* flow (rate x rm); mutually exclusive with
             buffer_bytes.
+        fault_schedule: scripted impairments applied to *every* flow's
+            packets just before the shared queue (one shared element
+            chain, unlike per-flow ``FlowConfig.fault_schedule``).
     """
 
     rate: float
@@ -37,6 +41,18 @@ class LinkConfig:
     buffer_bdp: Optional[float] = None
     #: DCTCP-style marking threshold (bytes of backlog); None = no ECN.
     ecn_threshold_bytes: Optional[float] = None
+    fault_schedule: Optional[FaultSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(
+                f"link rate must be > 0 bytes/s, got {self.rate}")
+        if self.buffer_bytes is not None and self.buffer_bytes <= 0:
+            raise ConfigurationError(
+                f"buffer_bytes must be > 0, got {self.buffer_bytes}")
+        if self.buffer_bdp is not None and self.buffer_bdp <= 0:
+            raise ConfigurationError(
+                f"buffer_bdp must be > 0, got {self.buffer_bdp}")
 
     def resolve_buffer(self, rm: float) -> Optional[float]:
         if self.buffer_bytes is not None and self.buffer_bdp is not None:
@@ -61,6 +77,9 @@ class FlowConfig:
         ack_elements: element factories on the ACK return path (e.g.
             jitter / ACK aggregation).
         ack_every / ack_timeout: receiver delayed-ACK policy.
+        fault_schedule: scripted time-windowed impairments on this
+            flow's data path (after ``data_elements``, before the
+            bottleneck).
         label: display name for reports.
     """
 
@@ -74,7 +93,17 @@ class FlowConfig:
     ack_timeout: Optional[float] = None
     #: GSO-style batching: release packets in bursts of this many.
     burst_size: int = 1
+    fault_schedule: Optional[FaultSchedule] = None
     label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rm <= 0:
+            raise ConfigurationError(f"rm must be > 0, got {self.rm}")
+        if self.mss <= 0:
+            raise ConfigurationError(f"mss must be > 0, got {self.mss}")
+        if self.start_time < 0:
+            raise ConfigurationError(
+                f"start_time must be >= 0, got {self.start_time}")
 
 
 class BuiltFlow:
@@ -100,10 +129,18 @@ class Scenario:
         self.flows = flows
         self.queue_recorder = queue_recorder
 
-    def run(self, duration: float) -> None:
+    def run(self, duration: float, max_events: Optional[int] = None,
+            wall_clock_budget: Optional[float] = None) -> None:
+        """Run for ``duration`` simulated seconds.
+
+        ``max_events``/``wall_clock_budget`` arm the engine watchdog
+        (see :meth:`repro.sim.engine.Simulator.run`), raising
+        :class:`repro.errors.BudgetExceededError` on divergent runs.
+        """
         for flow in self.flows:
             flow.sender.start()
-        self.sim.run(duration)
+        self.sim.run(duration, max_events=max_events,
+                     wall_clock_budget=wall_clock_budget)
 
 
 def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
@@ -127,10 +164,12 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
     queue = BottleneckQueue(sim, link.rate,
                             buffer_bytes=link.resolve_buffer(first_rm),
                             ecn_threshold_bytes=link.ecn_threshold_bytes)
+    # Shared-bottleneck faults: one element chain seen by every flow.
+    queue_entry: object = queue
+    if link.fault_schedule is not None:
+        queue_entry = link.fault_schedule.build(sim, queue)
     built: List[BuiltFlow] = []
     for flow_id, config in enumerate(flows):
-        if config.rm <= 0:
-            raise ConfigurationError(f"rm must be > 0, got {config.rm}")
         cca = config.cca_factory()
         sender = Sender(sim, flow_id, cca, mss=config.mss,
                         start_time=config.start_time,
@@ -143,10 +182,14 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
         # Forward path after the bottleneck: delay(rm) -> receiver.
         delay = DelayElement(sim, receiver, config.rm)
         queue.register_sink(flow_id, delay)
-        # Forward path before the bottleneck: data elements -> queue.
-        data_entry = chain(sim, config.data_elements, queue)
+        # Forward path before the bottleneck:
+        #   data elements -> per-flow faults -> shared faults -> queue.
+        flow_terminal: object = queue_entry
+        if config.fault_schedule is not None:
+            flow_terminal = config.fault_schedule.build(sim, flow_terminal)
+        data_entry = chain(sim, config.data_elements, flow_terminal)
         sender.attach_path(data_entry)
-        recorder = FlowRecorder(sim, sender,
+        recorder = FlowRecorder(sim, sender, receiver=receiver,
                                 sample_interval=sample_interval)
         built.append(BuiltFlow(flow_id, config, sender, receiver, recorder))
     queue_recorder = QueueRecorder(sim, queue,

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from .engine import Simulator
-from .host import Sender
+from .host import Receiver, Sender
 from .packet import AckInfo
 from .queue import BottleneckQueue
 
@@ -20,14 +20,17 @@ class FlowRecorder:
 
     Attributes populated during the run:
         rtt_times / rtt_values: one entry per ACK processed.
-        sample_times / cwnd_values / pacing_values / delivered_values:
-            one entry per ``sample_interval``.
+        sample_times / cwnd_values / pacing_values / delivered_values /
+            received_values: one entry per ``sample_interval``
+            (``received_values`` stays empty without a receiver).
     """
 
     def __init__(self, sim: Simulator, sender: Sender,
-                 sample_interval: float = 0.05) -> None:
+                 sample_interval: float = 0.05,
+                 receiver: Optional[Receiver] = None) -> None:
         self.sim = sim
         self.sender = sender
+        self.receiver = receiver
         self.sample_interval = sample_interval
 
         self.rtt_times: List[float] = []
@@ -36,6 +39,7 @@ class FlowRecorder:
         self.cwnd_values: List[float] = []
         self.pacing_values: List[Optional[float]] = []
         self.delivered_values: List[float] = []
+        self.received_values: List[float] = []
 
         sender.on_ack_hooks.append(self._on_ack)
         sim.schedule(sample_interval, self._sample)
@@ -49,6 +53,8 @@ class FlowRecorder:
         self.cwnd_values.append(self.sender.cca.cwnd_bytes)
         self.pacing_values.append(self.sender.cca.pacing_rate)
         self.delivered_values.append(self.sender.delivered_bytes)
+        if self.receiver is not None:
+            self.received_values.append(self.receiver.received_bytes)
         self.sim.schedule(self.sample_interval, self._sample)
 
     def throughput_between(self, t0: float, t1: float) -> float:
@@ -57,16 +63,28 @@ class FlowRecorder:
         Uses the periodic delivered-bytes samples; t0/t1 snap to the
         nearest recorded samples.
         """
-        if not self.sample_times or t1 <= t0:
+        return self._rate_between(self.delivered_values, t0, t1)
+
+    def goodput_between(self, t0: float, t1: float) -> float:
+        """Average receiver unique-bytes rate over [t0, t1].
+
+        Requires the recorder to have been built with a receiver;
+        returns 0.0 otherwise.
+        """
+        return self._rate_between(self.received_values, t0, t1)
+
+    def _rate_between(self, values: List[float], t0: float,
+                      t1: float) -> float:
+        if not self.sample_times or not values or t1 <= t0:
             return 0.0
-        d0 = self._delivered_at(t0)
-        d1 = self._delivered_at(t1)
+        d0 = self._value_at(values, t0)
+        d1 = self._value_at(values, t1)
         return max(0.0, (d1 - d0) / (t1 - t0))
 
-    def _delivered_at(self, t: float) -> float:
+    def _value_at(self, values: List[float], t: float) -> float:
         # Binary search over sorted sample times.
         times = self.sample_times
-        lo, hi = 0, len(times)
+        lo, hi = 0, min(len(times), len(values))
         while lo < hi:
             mid = (lo + hi) // 2
             if times[mid] <= t:
@@ -75,7 +93,7 @@ class FlowRecorder:
                 hi = mid
         if lo == 0:
             return 0.0
-        return self.delivered_values[lo - 1]
+        return values[lo - 1]
 
     def rtt_range_after(self, t0: float) -> Tuple[float, float]:
         """(min, max) of RTT samples observed at times >= t0."""

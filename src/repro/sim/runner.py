@@ -84,14 +84,19 @@ def summarize(scenario: Scenario, duration: float,
         throughput = flow.recorder.throughput_between(warmup, duration)
         window_rtts = [v for t, v in zip(flow.recorder.rtt_times,
                                          flow.recorder.rtt_values)
-                       if t >= warmup]
+                       if warmup <= t <= duration]
         if window_rtts:
             mean_rtt = sum(window_rtts) / len(window_rtts)
             min_rtt = min(window_rtts)
             max_rtt = max(window_rtts)
         else:
             mean_rtt = min_rtt = max_rtt = float("nan")
-        goodput = flow.receiver.received_bytes / duration
+        # Goodput over the same [warmup, duration] window as throughput;
+        # recorders without receiver samples (hand-built scenarios) fall
+        # back to the whole-run average.
+        goodput = flow.recorder.goodput_between(warmup, duration)
+        if not flow.recorder.received_values:
+            goodput = flow.receiver.received_bytes / duration
         stats.append(FlowStats(
             flow_id=flow.flow_id,
             label=flow.config.label or f"flow{flow.flow_id}",
@@ -113,26 +118,41 @@ def summarize(scenario: Scenario, duration: float,
 
 def run_scenario(link: LinkConfig, flows: Sequence[FlowConfig],
                  duration: float, warmup: float = 0.0,
-                 sample_interval: Optional[float] = None) -> List[FlowStats]:
+                 sample_interval: Optional[float] = None,
+                 max_events: Optional[int] = None,
+                 wall_clock_budget: Optional[float] = None
+                 ) -> List[FlowStats]:
     """Build, run, and summarize a dumbbell scenario.
 
     Returns one :class:`FlowStats` per flow; use :func:`run_scenario_full`
     when the raw recorders are needed too.
     """
     return run_scenario_full(link, flows, duration, warmup,
-                             sample_interval).stats
+                             sample_interval, max_events=max_events,
+                             wall_clock_budget=wall_clock_budget).stats
 
 
 def run_scenario_full(link: LinkConfig, flows: Sequence[FlowConfig],
                       duration: float, warmup: float = 0.0,
-                      sample_interval: Optional[float] = None) -> RunResult:
-    """Like :func:`run_scenario` but returns recorders and the scenario."""
+                      sample_interval: Optional[float] = None,
+                      max_events: Optional[int] = None,
+                      wall_clock_budget: Optional[float] = None
+                      ) -> RunResult:
+    """Like :func:`run_scenario` but returns recorders and the scenario.
+
+    ``max_events``/``wall_clock_budget`` arm the engine watchdog: a
+    divergent run raises :class:`repro.errors.BudgetExceededError`
+    instead of spinning forever (see
+    :class:`repro.analysis.harness.ResilientSweep` for how sweeps turn
+    that into a recorded failure).
+    """
     if sample_interval is None:
         # Sample finely enough to resolve the shortest RTT.
         min_rm = min(flow.rm for flow in flows)
         sample_interval = max(min_rm / 4, duration / 20000)
     scenario = build_dumbbell(link, flows, sample_interval=sample_interval)
-    scenario.run(duration)
+    scenario.run(duration, max_events=max_events,
+                 wall_clock_budget=wall_clock_budget)
     stats = summarize(scenario, duration, warmup)
     return RunResult(scenario=scenario, stats=stats, duration=duration,
                      warmup=warmup)

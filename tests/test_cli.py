@@ -49,6 +49,38 @@ class TestFlowSpecParsing:
         with pytest.raises(SystemExit):
             parse_flow_spec("vegas:zap", rm=0.04)
 
+    def test_ge_fault_modifier(self):
+        config = parse_flow_spec("bbr:ge0.02", rm=0.04)
+        assert config.fault_schedule is not None
+        assert len(config.fault_schedule.windows) == 1
+
+    def test_blackout_fault_modifier(self):
+        config = parse_flow_spec("bbr:blackout5-7", rm=0.04)
+        window = config.fault_schedule.windows[0]
+        assert (window.start, window.end) == (5.0, 7.0)
+
+    def test_flap_reorder_dup_corrupt_modifiers(self):
+        config = parse_flow_spec(
+            "reno:flap2-0.5:reorder0.05:dup0.01:corrupt0.01", rm=0.04)
+        assert len(config.fault_schedule.windows) == 4
+
+    def test_modifiers_stack_with_ack_modifiers(self):
+        config = parse_flow_spec("vegas:jitter5:blackout1-2", rm=0.04)
+        assert len(config.ack_elements) == 1
+        assert config.fault_schedule is not None
+
+    def test_bad_blackout_window_exits(self):
+        with pytest.raises(SystemExit):
+            parse_flow_spec("bbr:blackout5", rm=0.04)
+
+    def test_bad_modifier_values_exit_cleanly(self):
+        # ValueError/ConfigurationError become SystemExit with the
+        # offending modifier named, not a traceback.
+        for spec in ("vegas:ge", "vegas:blackout7-5", "vegas:dup1.5",
+                     "vegas:ge1.5", "vegas:flap2-3", "vegas:reorder-1"):
+            with pytest.raises(SystemExit, match="modifier"):
+                parse_flow_spec(spec, rm=0.04)
+
 
 class TestCommands:
     def test_run_command(self, capsys):
@@ -67,12 +99,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "vegas:jitter5" in out
 
+    def test_run_with_fault_flags(self, capsys):
+        code = main(["run", "--rate", "12", "--rm", "40",
+                     "--cca", "vegas:blackout1-2", "--cca", "vegas",
+                     "--duration", "4", "--link-ge", "0.01",
+                     "--fault-seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vegas:blackout1-2" in out
+
+    def test_run_with_link_blackout_and_flap(self, capsys):
+        code = main(["run", "--rate", "12", "--rm", "40",
+                     "--cca", "vegas", "--duration", "4",
+                     "--link-blackout", "1-1.5",
+                     "--link-flap", "2-0.25"])
+        assert code == 0
+
     def test_sweep_command(self, capsys):
         code = main(["sweep", "--cca", "vegas", "--rates", "2,10",
                      "--rm", "40", "--duration", "5"])
         assert code == 0
         out = capsys.readouterr().out
         assert "delta_max" in out
+
+    def test_sweep_with_checkpoint_resumes(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "ck.json")
+        args = ["sweep", "--cca", "vegas", "--rates", "2,10",
+                "--rm", "40", "--duration", "5",
+                "--checkpoint", checkpoint]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Second invocation resumes from the checkpoint (instant).
+        assert main(args) == 0
+        assert "delta_max" in capsys.readouterr().out
+
+    def test_sweep_retry_failures_reruns_failed_points(self, tmp_path,
+                                                       capsys):
+        checkpoint = str(tmp_path / "ck.json")
+        base = ["sweep", "--cca", "vegas", "--rates", "2",
+                "--rm", "40", "--duration", "5",
+                "--checkpoint", checkpoint]
+        # Starve the budget so the point fails and is checkpointed.
+        assert main(base + ["--max-events", "1000"]) == 1
+        capsys.readouterr()
+        # Without --retry-failures the failure record is kept.
+        assert main(base) == 1
+        capsys.readouterr()
+        assert main(base + ["--retry-failures"]) == 0
+        assert "delta_max" in capsys.readouterr().out
 
     def test_theorem_2(self, capsys):
         code = main(["theorem", "2"])

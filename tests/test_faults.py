@@ -1,0 +1,310 @@
+"""Tests for the fault-injection subsystem (repro.sim.faults)."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.ccas import BBR
+from repro.ccas.vegas import Vegas
+from repro.errors import ConfigurationError
+from repro.sim import FlowConfig, LinkConfig, run_scenario
+from repro.sim.faults import (BlackoutElement, CorruptionElement,
+                              DuplicateElement, FaultSchedule, FaultWindow,
+                              GilbertElliottLossElement, LinkFlapElement,
+                              ReorderElement, WindowGate)
+from repro.sim.packet import Packet
+
+
+def pkt(seq, size=1500):
+    return Packet(flow_id=0, seq=seq, size=size, sent_time=0.0)
+
+
+class TestGilbertElliott:
+    def test_empirical_loss_rate_matches_stationary(self, sim, spy):
+        element = GilbertElliottLossElement.from_mean_loss(
+            sim, spy, mean_loss=0.05, burst_packets=4.0, seed=42)
+        n = 40000
+        for i in range(n):
+            element.receive(pkt(i), 0.0)
+        measured = element.dropped / n
+        assert measured == pytest.approx(0.05, rel=0.15)
+        assert element.expected_loss_rate() == pytest.approx(0.05)
+
+    def test_losses_are_bursty(self, sim, spy):
+        element = GilbertElliottLossElement(
+            sim, spy, p_enter_bad=0.01, p_exit_bad=0.2, seed=7)
+        drops = []
+        for i in range(20000):
+            before = element.dropped
+            element.receive(pkt(i), 0.0)
+            if element.dropped > before:
+                drops.append(i)
+        assert drops, "no losses at all"
+        # Mean burst length 1/p_exit = 5 packets: consecutive drops
+        # must occur far more often than under independent loss.
+        consecutive = sum(1 for a, b in zip(drops, drops[1:])
+                          if b == a + 1)
+        assert consecutive / len(drops) > 0.3
+
+    def test_deterministic_under_fixed_seed(self, sim, spy):
+        def run(seed):
+            element = GilbertElliottLossElement.from_mean_loss(
+                sim, spy, mean_loss=0.1, seed=seed)
+            survived = []
+            for i in range(2000):
+                before = element.forwarded
+                element.receive(pkt(i), 0.0)
+                if element.forwarded > before:
+                    survived.append(i)
+            return survived
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_invalid_probabilities_raise(self, sim, spy):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLossElement(sim, spy, p_enter_bad=0.0,
+                                      p_exit_bad=0.5)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLossElement(sim, spy, p_enter_bad=0.1,
+                                      p_exit_bad=1.5)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLossElement.from_mean_loss(sim, spy,
+                                                     mean_loss=1.0)
+
+
+class TestBlackout:
+    def test_drops_only_inside_windows(self, sim, spy):
+        element = BlackoutElement(sim, spy, [(1.0, 2.0), (3.0, 4.0)])
+        for i, t in enumerate([0.5, 1.0, 1.5, 2.0, 2.5, 3.5, 4.5]):
+            element.receive(pkt(i), t)
+        delivered_times = spy.times
+        assert delivered_times == [0.5, 2.0, 2.5, 4.5]
+        assert element.dropped == 3
+
+    def test_zero_deliveries_inside_window_end_to_end(self):
+        from repro.sim import run_scenario_full
+
+        faults = FaultSchedule().blackout(2.0, 3.0)
+        result = run_scenario_full(
+            LinkConfig(rate=units.mbps(12)),
+            [FlowConfig(cca_factory=Vegas, rm=units.ms(40),
+                        fault_schedule=faults)],
+            duration=6.0)
+        assert faults.elements()[0][1].dropped > 0
+        # ACKs return instantly, so ACK times track delivery times.
+        # Allow rm + queueing for in-flight packets that beat the
+        # window's opening; after that the pipe must be silent until
+        # retransmissions following the outage get through.
+        ack_times = result.scenario.flows[0].recorder.rtt_times
+        silent = [t for t in ack_times if 2.3 <= t < 3.0]
+        assert silent == []
+        assert any(t > 3.0 for t in ack_times)  # flow recovers
+        assert result.stats[0].throughput > 0
+
+    def test_window_validation(self, sim, spy):
+        with pytest.raises(ConfigurationError):
+            BlackoutElement(sim, spy, [(2.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            BlackoutElement(sim, spy, [(3.0, 4.0), (1.0, 2.0)])
+        with pytest.raises(ConfigurationError):
+            BlackoutElement(sim, spy, [(1.0, 3.0), (2.0, 4.0)])
+
+
+class TestLinkFlap:
+    def test_up_then_down_each_period(self, sim, spy):
+        element = LinkFlapElement(sim, spy, period=2.0, down_time=0.5)
+        # Up for 1.5 s, down for 0.5 s, repeating.
+        assert not element.is_down(0.0)
+        assert not element.is_down(1.49)
+        assert element.is_down(1.5)
+        assert element.is_down(1.99)
+        assert not element.is_down(2.0)
+        assert element.is_down(3.75)
+
+    def test_phase_shifts_cycle(self, sim, spy):
+        shifted = LinkFlapElement(sim, spy, period=2.0, down_time=0.5,
+                                  phase=1.5)
+        assert shifted.is_down(0.0)
+        assert not shifted.is_down(0.5)
+
+    def test_drop_counters(self, sim, spy):
+        element = LinkFlapElement(sim, spy, period=1.0, down_time=0.5)
+        for i, t in enumerate([0.1, 0.6, 1.1, 1.7]):
+            element.receive(pkt(i), t)
+        assert element.dropped == 2
+        assert element.forwarded == 2
+
+    def test_validation(self, sim, spy):
+        with pytest.raises(ConfigurationError):
+            LinkFlapElement(sim, spy, period=0.0, down_time=0.1)
+        with pytest.raises(ConfigurationError):
+            LinkFlapElement(sim, spy, period=1.0, down_time=1.0)
+
+
+class TestReorder:
+    def test_straggler_is_overtaken(self, sim, spy):
+        # With prob 1 every packet is held 10 ms; arrivals 1 ms apart
+        # mean packet k is released after packets k+1..k+9 arrive.
+        element = ReorderElement(sim, spy, reorder_prob=1.0,
+                                 extra_delay=0.010, seed=0)
+        for i in range(5):
+            sim.schedule(0.001 * (i + 1), element.receive, pkt(i),
+                         0.001 * (i + 1))
+        sim.run_all()
+        seqs = [p.seq for p in spy.packets]
+        assert seqs == [0, 1, 2, 3, 4]  # all held -> order preserved
+        assert element.reordered == 5
+
+        # Now mix held and pass-through packets: reordering appears.
+        sim2 = type(sim)()
+        spy2 = type(spy)()
+        element = ReorderElement(sim2, spy2, reorder_prob=0.5,
+                                 extra_delay=0.010, seed=1)
+        for i in range(50):
+            sim2.schedule(0.001 * (i + 1), element.receive, pkt(i),
+                          0.001 * (i + 1))
+        sim2.run_all()
+        seqs = [p.seq for p in spy2.packets]
+        assert sorted(seqs) == list(range(50))
+        assert seqs != sorted(seqs), "expected reordering"
+
+    def test_validation(self, sim, spy):
+        with pytest.raises(ConfigurationError):
+            ReorderElement(sim, spy, reorder_prob=1.5, extra_delay=0.01)
+        with pytest.raises(ConfigurationError):
+            ReorderElement(sim, spy, reorder_prob=0.5, extra_delay=0.0)
+
+
+class TestDuplicateAndCorruption:
+    def test_duplicates_delivered_twice(self, sim, spy):
+        element = DuplicateElement(sim, spy, dup_prob=1.0, seed=0)
+        for i in range(10):
+            element.receive(pkt(i), 0.0)
+        assert len(spy.packets) == 20
+        assert element.duplicated == 10
+
+    def test_corruption_drops_and_counts(self, sim, spy):
+        element = CorruptionElement(sim, spy, corrupt_prob=0.5, seed=9)
+        for i in range(2000):
+            element.receive(pkt(i), 0.0)
+        assert element.corrupted + element.forwarded == 2000
+        assert element.corrupted == pytest.approx(1000, rel=0.15)
+
+    def test_validation(self, sim, spy):
+        with pytest.raises(ConfigurationError):
+            DuplicateElement(sim, spy, dup_prob=-0.1)
+        with pytest.raises(ConfigurationError):
+            CorruptionElement(sim, spy, corrupt_prob=1.0)
+
+
+class TestWindowGate:
+    def test_bypass_outside_window(self, sim, spy):
+        blackout = BlackoutElement(sim, spy, [(0.0, math.inf)])
+        gate = WindowGate(sim, blackout, spy, start=1.0, end=2.0)
+        gate.receive(pkt(0), 0.5)   # bypass
+        gate.receive(pkt(1), 1.5)   # impaired -> dropped
+        gate.receive(pkt(2), 2.5)   # bypass
+        assert [p.seq for p in spy.packets] == [0, 2]
+        assert blackout.dropped == 1
+
+
+class TestFaultSchedule:
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultWindow(2.0, 1.0, lambda sim, sink: sink)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().blackout(-1.0, 1.0)
+
+    def test_windows_compose_in_order(self, sim, spy):
+        schedule = (FaultSchedule(seed=5)
+                    .blackout(1.0, 2.0)
+                    .corrupt(0.0, 10.0, prob=0.5))
+        entry = schedule.build(sim, spy)
+        for i in range(100):
+            entry.receive(pkt(i), 0.5)    # corruption only
+        for i in range(100, 120):
+            entry.receive(pkt(i), 1.5)    # blackout swallows everything
+        elements = schedule.elements()
+        assert [type(e).__name__ for _, e in elements] == [
+            "BlackoutElement", "CorruptionElement"]
+        assert elements[0][1].dropped == 20
+        assert 0 < elements[1][1].corrupted < 100
+        assert all(p.seq < 100 for p in spy.packets)
+
+    def test_schedule_replays_identically(self):
+        def run():
+            faults = (FaultSchedule(seed=11)
+                      .gilbert_elliott(0.0, 10.0, mean_loss=0.05)
+                      .duplicate(2.0, 8.0, prob=0.1))
+            stats = run_scenario(
+                LinkConfig(rate=units.mbps(12)),
+                [FlowConfig(cca_factory=Vegas, rm=units.ms(40),
+                            fault_schedule=faults)],
+                duration=10.0, warmup=2.0)
+            return stats[0]
+
+        first, second = run(), run()
+        assert first == second  # FlowStats is a dataclass: full equality
+
+    def test_two_runs_identical_with_bbr_and_all_faults(self):
+        """Acceptance: deterministic replay across the full zoo."""
+        def run():
+            faults = (FaultSchedule(seed=3)
+                      .gilbert_elliott(0.0, 15.0, mean_loss=0.02)
+                      .blackout(4.0, 4.5)
+                      .flap(6.0, 9.0, period=1.0, down_time=0.2)
+                      .reorder(9.0, 12.0, prob=0.05, extra_delay=0.005)
+                      .duplicate(0.0, 15.0, prob=0.02)
+                      .corrupt(0.0, 15.0, prob=0.01))
+            return run_scenario(
+                LinkConfig(rate=units.mbps(24)),
+                [FlowConfig(cca_factory=lambda: BBR(seed=1),
+                            rm=units.ms(30), fault_schedule=faults),
+                 FlowConfig(cca_factory=lambda: BBR(seed=2),
+                            rm=units.ms(30))],
+                duration=15.0, warmup=5.0)
+
+        assert run() == run()
+
+    def test_shared_link_faults_hit_every_flow(self):
+        link_faults = FaultSchedule().blackout(1.0, 2.0)
+        stats = run_scenario(
+            LinkConfig(rate=units.mbps(12),
+                       fault_schedule=link_faults),
+            [FlowConfig(cca_factory=Vegas, rm=units.ms(40)),
+             FlowConfig(cca_factory=Vegas, rm=units.ms(40))],
+            duration=5.0, warmup=2.5)
+        blackout = link_faults.elements()[0][1]
+        assert blackout.dropped > 0
+        # Both flows keep running after the shared outage.
+        assert all(s.throughput > 0 for s in stats)
+
+
+class TestConfigValidation:
+    def test_link_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkConfig(rate=-1.0)
+
+    def test_link_buffer_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(rate=1e6, buffer_bytes=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkConfig(rate=1e6, buffer_bdp=-2.0)
+
+    def test_flow_rm_and_mss_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FlowConfig(cca_factory=Vegas, rm=0.0)
+        with pytest.raises(ConfigurationError):
+            FlowConfig(cca_factory=Vegas, rm=-0.04)
+        with pytest.raises(ConfigurationError):
+            FlowConfig(cca_factory=Vegas, rm=0.04, mss=0)
+        with pytest.raises(ConfigurationError):
+            FlowConfig(cca_factory=Vegas, rm=0.04, start_time=-1.0)
+
+    def test_valid_configs_still_construct(self):
+        LinkConfig(rate=1e6, buffer_bdp=4.0)
+        FlowConfig(cca_factory=Vegas, rm=0.04, mss=1200)
