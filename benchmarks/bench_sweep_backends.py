@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Benchmark: serial vs process-pool sweep on an 8-point rate grid.
+
+Runs the same Figure 3 style sweep twice — SerialBackend and
+ProcessPoolBackend(jobs=4) — asserts the curves are bit-identical, and
+writes the timings to BENCH_sweep.json at the repo root.
+
+The speedup column is honest wall-clock on the current machine; on a
+single-core container the pool cannot beat serial (spawn overhead plus
+time-slicing), so the JSON records ``cpu_count`` next to the numbers —
+read the speedup relative to that.
+
+Run:  PYTHONPATH=src python benchmarks/bench_sweep_backends.py
+"""
+
+import json
+import os
+import time
+
+from repro import units
+from repro.analysis.harness import RunBudget
+from repro.analysis.sweep import log_rate_grid, sweep_rate_delay
+
+RM = units.ms(40)
+GRID = log_rate_grid(0.5, 50.0, points=8)
+JOBS = 4
+BUDGET = RunBudget(max_events=30_000_000, wall_clock=300.0, retries=0)
+OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_sweep.json")
+
+
+#: Long enough that one point is ~seconds of simulation, so worker
+#: start-up cost does not drown the measurement on real multi-core
+#: hardware.
+DURATION = 30.0
+
+
+def timed_sweep(jobs):
+    start = time.monotonic()
+    curve = sweep_rate_delay("copa", GRID, RM, duration=DURATION,
+                             budget=BUDGET, seed=11, jobs=jobs)
+    elapsed = time.monotonic() - start
+    assert not curve.failures, curve.failures
+    assert len(curve.points) == len(GRID)
+    return elapsed, curve
+
+
+def main():
+    serial_time, serial_curve = timed_sweep(jobs=None)
+    pool_time, pool_curve = timed_sweep(jobs=JOBS)
+
+    identical = serial_curve.to_json() == pool_curve.to_json()
+    assert identical, "parallel sweep diverged from serial reference"
+
+    payload = {
+        "benchmark": f"8-point copa rate-delay sweep, {DURATION:.0f} s per point",
+        "grid_mbps": GRID,
+        "cpu_count": os.cpu_count(),
+        "jobs": JOBS,
+        "serial_seconds": round(serial_time, 3),
+        "parallel_seconds": round(pool_time, 3),
+        "speedup": round(serial_time / pool_time, 3),
+        "bit_identical": identical,
+        "note": ("speedup is wall-clock on this machine; with fewer "
+                 "cores than jobs the pool pays spawn overhead for no "
+                 "parallelism — compare against cpu_count"),
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"\nwritten to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,14 +11,13 @@ affordable — the shapes are Rm-relative):
 * PCC Vivace: a thin band just above Rm ([Rm, 1.05 Rm]).
 """
 
-import pytest
 
 from conftest import report
 from repro import units
 from repro.analysis.harness import RunBudget
 from repro.analysis.report import rate_delay_ascii
 from repro.analysis.sweep import sweep_rate_delay
-from repro.ccas import BBR, Copa, FastTCP, Vegas, Vivace
+from repro.spec import CCASpec
 
 RM = units.ms(50)
 GRID = [0.4, 2.0, 10.0, 50.0]   # Mbit/s, log-ish spacing
@@ -30,21 +29,21 @@ BUDGET = RunBudget(max_events=30_000_000, wall_clock=300.0, retries=1)
 
 
 def run_sweeps():
-    def sweep(factory, label, duration=None):
-        return sweep_rate_delay(factory, GRID, RM, label=label,
+    def sweep(cca, label, duration=None):
+        return sweep_rate_delay(cca, GRID, RM, label=label,
                                 duration=duration, budget=BUDGET)
 
     curves = {}
-    curves["Vegas"] = sweep(Vegas, "Vegas")
-    curves["FAST"] = sweep(FastTCP, "FAST")
+    curves["Vegas"] = sweep("vegas", "Vegas")
+    curves["FAST"] = sweep("fast", "FAST")
     # Copa's velocity mechanism hunts for several seconds at high BDP;
     # give it a longer settling run than the default.
-    curves["Copa"] = sweep(Copa, "Copa", duration=30.0)
+    curves["Copa"] = sweep("copa", "Copa", duration=30.0)
     # BBR's bandwidth probing recovers from a premature full-pipe
     # signal at ~25% per gain cycle; give it time to finish ramping.
-    curves["BBR"] = sweep(lambda: BBR(seed=3), "BBR (pacing)",
+    curves["BBR"] = sweep(CCASpec("bbr", {"seed": 3}), "BBR (pacing)",
                           duration=20.0)
-    curves["Vivace"] = sweep(Vivace, "Vivace")
+    curves["Vivace"] = sweep("vivace", "Vivace")
     return curves
 
 

@@ -15,7 +15,6 @@ s = 10 (the paper proves any s is reachable; the emulator demonstrations
 in Section 5 reached ~10:1).
 """
 
-import pytest
 
 from conftest import report
 from repro import units

@@ -8,7 +8,6 @@ by any factor s — and running that pair on one queue (one flow jittered
 by D, the other by 0) starves one of them.
 """
 
-import math
 
 from conftest import report
 from repro import units

@@ -12,8 +12,9 @@ drops (queue spikes) as congestion.
 
 from conftest import report
 from repro import units
+from repro.analysis.backends import SerialBackend
 from repro.analysis.harness import ResilientSweep, RunBudget
-from repro.ccas import BBR, Copa, Cubic, Vegas
+from repro.ccas import registry
 from repro.sim.engine import Simulator
 from repro.sim.host import Receiver, Sender
 from repro.sim.path import DelayElement
@@ -22,16 +23,17 @@ from repro.sim.varlink import VariableRateQueue, cellular_schedule
 RM = units.ms(40)
 DURATION = 30.0
 
-CCA_FACTORIES = {"Vegas": Vegas, "Copa": Copa,
-                 "BBR": lambda: BBR(seed=3), "Cubic": Cubic}
+#: Panel rows: display label -> (registry name, constructor params).
+PANEL = {"Vegas": ("vegas", {}), "Copa": ("copa", {}),
+         "BBR": ("bbr", {"seed": 3}), "Cubic": ("cubic", {})}
 
 
-def run_variable(cca_factory, seed=5, max_events=None,
+def run_variable(cca, seed=5, max_events=None,
                  wall_clock_budget=None):
     schedule = cellular_schedule(mean_mbps=12.0, period=2.0, spread=0.8,
                                  seed=seed)
     sim = Simulator()
-    sender = Sender(sim, 0, cca_factory())
+    sender = Sender(sim, 0, cca)
     receiver = Receiver(sim, 0)
     queue = VariableRateQueue(sim, schedule,
                               buffer_bytes=200 * 1500)
@@ -46,21 +48,26 @@ def run_variable(cca_factory, seed=5, max_events=None,
     return delivered_rate / schedule.mean_rate(), sender
 
 
+def run_point(params, budget):
+    """Module-level and registry-driven, so the panel is spawn-safe
+    (swap in ProcessPoolBackend to parallelize it)."""
+    utilization, sender = run_variable(
+        registry.create(params["cca"], params["params"]),
+        max_events=budget.max_events,
+        wall_clock_budget=budget.wall_clock)
+    return {"utilization": utilization,
+            "losses": sender.losses_detected}
+
+
 def generate():
     # Run the CCA panel on the resilient harness: one divergent CCA
     # surfaces as a recorded failure, not a hung/aborted bench.
-    def run_point(params, budget):
-        utilization, sender = run_variable(
-            CCA_FACTORIES[params["cca"]],
-            max_events=budget.max_events,
-            wall_clock_budget=budget.wall_clock)
-        return {"utilization": utilization,
-                "losses": sender.losses_detected}
-
     sweep = ResilientSweep(run_point,
                            budget=RunBudget(max_events=10_000_000,
-                                            wall_clock=120.0, retries=1))
-    outcome = sweep.run([(name, {"cca": name}) for name in CCA_FACTORIES])
+                                            wall_clock=120.0, retries=1),
+                           backend=SerialBackend())
+    outcome = sweep.run([(label, {"cca": name, "params": params})
+                         for label, (name, params) in PANEL.items()])
     return outcome
 
 

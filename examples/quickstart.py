@@ -3,7 +3,10 @@
 
 Demonstrates the library's core loop in ~40 lines:
 
-1. describe a dumbbell scenario (bottleneck + flows),
+1. describe a dumbbell scenario — either with the low-level build
+   configs (``LinkConfig``/``FlowConfig``, live callables) or with the
+   declarative :mod:`repro.spec` layer (pure data, JSON-serializable,
+   what the CLI's ``--spec`` files contain),
 2. run it in the packet-level simulator,
 3. read per-flow statistics.
 
@@ -18,35 +21,44 @@ from repro import units
 from repro.analysis.report import describe_run
 from repro.ccas import Vegas
 from repro.sim import FlowConfig, LinkConfig, run_scenario_full
-from repro.sim.jitter import ConstantJitter, ExemptFirstJitter
+from repro.spec import (CCASpec, ElementSpec, FlowSpec, LinkSpec,
+                        ScenarioSpec)
 
-LINK = LinkConfig(rate=units.mbps(48))
 RM = units.ms(40)
 JITTER = units.ms(10)
 
 
 def clean_path():
+    # Build layer: hand the runner live configs directly.
     return run_scenario_full(
-        LINK,
+        LinkConfig(rate=units.mbps(48)),
         [FlowConfig(cca_factory=Vegas, rm=RM, label="flow-a"),
          FlowConfig(cca_factory=Vegas, rm=RM, label="flow-b")],
         duration=30.0, warmup=10.0)
 
 
 def jittery_path():
-    return run_scenario_full(
-        LINK,
-        [FlowConfig(
-            cca_factory=Vegas, rm=RM, label="poisoned",
-            # Every ACK is delayed 10 ms except the very first packet's,
-            # so this flow believes the path has 10 ms of queueing.
-            ack_elements=[lambda sim, sink: ExemptFirstJitter(
-                sim, sink, JITTER, exempt_seqs=[0])]),
-         FlowConfig(
-            cca_factory=Vegas, rm=RM, label="normal",
-            ack_elements=[lambda sim, sink: ConstantJitter(
-                sim, sink, JITTER)])],
-        duration=30.0, warmup=10.0)
+    # Spec layer: the same scenario as pure data. `spec.dumps()` gives
+    # a JSON file `repro run --spec` replays; one root seed derives
+    # every component RNG, so it reproduces bit-for-bit anywhere.
+    spec = ScenarioSpec(
+        link=LinkSpec(rate=units.mbps(48)),
+        flows=(
+            FlowSpec(
+                cca=CCASpec("vegas"), rm=RM, label="poisoned",
+                # Every ACK is delayed 10 ms except the very first
+                # packet's, so this flow believes the path has 10 ms of
+                # queueing.
+                ack_elements=(ElementSpec(
+                    "exempt_first_jitter",
+                    {"eta": JITTER, "exempt_seqs": [0]}),)),
+            FlowSpec(
+                cca=CCASpec("vegas"), rm=RM, label="normal",
+                ack_elements=(ElementSpec("constant_jitter",
+                                          {"eta": JITTER}),)),
+        ),
+        seed=0)
+    return spec.run(duration=30.0, warmup=10.0)
 
 
 def main():

@@ -21,7 +21,6 @@ Run:  python examples/starvation_gallery.py [--quick]
 import argparse
 import time
 
-from repro import units
 from repro.analysis.report import describe_run
 from repro.analysis.starvation import (allegro_asymmetric_loss,
                                        bbr_rtt_starvation,

@@ -1,5 +1,7 @@
-"""Analysis utilities: metrics, sweeps, harness, scenario library."""
+"""Analysis utilities: metrics, sweeps, harness, backends, scenarios."""
 
+from .backends import (PointOutcome, ProcessPoolBackend, SerialBackend,
+                       execute_point, make_backend)
 from .harness import (ResilientSweep, RunBudget, RunFailure, SweepOutcome,
                       describe_failures, run_with_retry)
 from .metrics import (loss_rate, mean_rtt_ms, queueing_delay_ms,
@@ -11,11 +13,13 @@ from .sweep import (RateDelayCurve, RateDelayPoint, log_rate_grid,
 from .traces import export_run_tsv, flow_arrays, queue_arrays, write_tsv
 
 __all__ = [
-    "RateDelayCurve", "RateDelayPoint", "ResilientSweep", "RunBudget",
-    "RunFailure", "SweepOutcome", "comparison_line", "describe_failures",
-    "describe_run", "flow_table", "format_table", "log_rate_grid",
-    "loss_rate", "mean_rtt_ms", "queueing_delay_ms", "rate_delay_ascii",
+    "PointOutcome", "ProcessPoolBackend", "RateDelayCurve",
+    "RateDelayPoint", "ResilientSweep", "RunBudget", "RunFailure",
+    "SerialBackend", "SweepOutcome", "comparison_line",
+    "describe_failures", "describe_run", "execute_point", "flow_table",
+    "format_table", "log_rate_grid", "loss_rate", "make_backend",
+    "mean_rtt_ms", "queueing_delay_ms", "rate_delay_ascii",
     "export_run_tsv", "flow_arrays", "queue_arrays", "run_with_retry",
-    "summarize_run", "sweep_rate_delay", "throughputs_mbps", "utilization",
-    "write_tsv",
+    "summarize_run", "sweep_rate_delay", "throughputs_mbps",
+    "utilization", "write_tsv",
 ]

@@ -1,0 +1,176 @@
+"""Pluggable execution backends: how a grid of experiments runs.
+
+The resilient harness (:mod:`repro.analysis.harness`) decides *what* to
+run and how failures/checkpoints are handled; a backend decides *where*
+the points execute:
+
+* :class:`SerialBackend` — in-process, in grid order (the default, and
+  the reference for bit-identical results).
+* :class:`ProcessPoolBackend` — a spawn-based process pool. Workers
+  receive only picklable data (a module-level ``run_point`` function
+  reference, JSON-able params, a :class:`RunBudget`) and return
+  picklable results (plain dicts / :class:`FlowStats` /
+  :class:`RunFailure`), never live simulator objects. Combined with
+  root-seed derivation (:mod:`repro.spec.seeds`) this makes parallel
+  sweeps bit-identical to serial ones.
+
+Both backends funnel each point through :func:`execute_point`, which
+owns the retry/back-off and failure-wrapping semantics, so a divergent
+point degrades to a :class:`RunFailure` identically on every backend.
+Non-recoverable exceptions (programming errors) propagate from workers
+to the caller.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, Iterator, Optional,
+                    Sequence, Tuple)
+
+from ..errors import ConfigurationError
+from .harness import (RECOVERABLE, RunBudget, RunFailure, _first_line,
+                      run_with_retry)
+
+#: ``run_point(params, budget) -> result`` — the unit of grid work.
+RunPoint = Callable[[Dict[str, Any], RunBudget], Any]
+
+#: ``(key, params)`` — one grid point.
+Point = Tuple[str, Dict[str, Any]]
+
+
+@dataclass
+class PointOutcome:
+    """What one grid point produced: a result or a structured failure."""
+
+    key: str
+    params: Dict[str, Any]
+    result: Any = None
+    failure: Optional[RunFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
+                  budget: RunBudget) -> PointOutcome:
+    """Run one grid point with retries; wrap recoverable failures.
+
+    This is the single execution path shared by every backend (it is a
+    module-level function precisely so process pools can pickle it).
+    """
+    start = time.monotonic()
+    attempts = 0
+
+    def attempt(budget: RunBudget) -> Any:
+        nonlocal attempts
+        attempts += 1
+        return run_point(params, budget)
+
+    try:
+        result = run_with_retry(attempt, budget)
+    except RECOVERABLE as exc:
+        failure = RunFailure(
+            key=key, reason=type(exc).__name__,
+            message=_first_line(exc), attempts=attempts,
+            elapsed=time.monotonic() - start, params=params)
+        return PointOutcome(key=key, params=params, failure=failure)
+    return PointOutcome(key=key, params=params, result=result)
+
+
+class SerialBackend:
+    """Run points in-process, in grid order. Always available."""
+
+    jobs = 1
+
+    def execute(self, run_point: RunPoint, points: Sequence[Point],
+                budget: RunBudget,
+                on_start: Optional[Callable[[str], None]] = None
+                ) -> Iterator[PointOutcome]:
+        for key, params in points:
+            if on_start is not None:
+                on_start(key)
+            yield execute_point(run_point, key, params, budget)
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend:
+    """Fan points out over a spawn-based process pool.
+
+    Args:
+        jobs: worker count (default: the machine's CPU count).
+
+    Requirements (enforced eagerly with clear errors):
+
+    * ``run_point`` must be a module-level function — describe the work
+      as data (e.g. a :class:`repro.spec.ScenarioSpec` in ``params``)
+      rather than a closure over live objects.
+    * ``params`` and results must be picklable (JSON-able data and the
+      harness dataclasses all are).
+
+    Outcomes are yielded as points finish (not in grid order); the
+    harness reassembles grid order, so sweep output is identical to
+    :class:`SerialBackend` as long as per-point seeds do not depend on
+    execution order — which root-seed derivation guarantees.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def execute(self, run_point: RunPoint, points: Sequence[Point],
+                budget: RunBudget,
+                on_start: Optional[Callable[[str], None]] = None
+                ) -> Iterator[PointOutcome]:
+        points = list(points)
+        if not points:
+            return
+        self._check_picklable(run_point, points)
+        context = multiprocessing.get_context("spawn")
+        workers = min(self.jobs, len(points))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = []
+            for key, params in points:
+                if on_start is not None:
+                    on_start(key)
+                futures.append(pool.submit(execute_point, run_point,
+                                           key, params, budget))
+            for future in as_completed(futures):
+                yield future.result()
+
+    @staticmethod
+    def _check_picklable(run_point: RunPoint,
+                         points: Iterable[Point]) -> None:
+        try:
+            pickle.dumps(run_point)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"ProcessPoolBackend needs a picklable module-level "
+                f"run_point, got {run_point!r} ({exc}); express the "
+                f"work as a ScenarioSpec in params and run it from a "
+                f"module-level function, or use SerialBackend")
+        try:
+            pickle.dumps(list(points))
+        except Exception as exc:
+            raise ConfigurationError(
+                f"grid params must be picklable for "
+                f"ProcessPoolBackend: {exc}")
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(jobs={self.jobs})"
+
+
+def make_backend(jobs: Optional[int] = None):
+    """``--jobs N`` semantics: None/1 -> serial, N > 1 -> process pool."""
+    if jobs is None or jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(jobs=jobs)

@@ -25,12 +25,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
-from ..errors import BudgetExceededError, ReproError
+from ..errors import ReproError
 
 
 @dataclass
@@ -162,7 +161,9 @@ class ResilientSweep:
         run_point: ``run_point(params, budget)`` executes one grid point
             and returns a JSON-serializable result. It should forward
             ``budget.max_events``/``budget.wall_clock`` into the
-            simulator so the watchdog can fire.
+            simulator so the watchdog can fire. With a parallel backend
+            it must be a *module-level* function and ``params`` must be
+            picklable (see :mod:`repro.analysis.backends`).
         budget: per-point :class:`RunBudget` (default: a generous one).
         checkpoint_path: JSON file for incremental progress. Written
             atomically after *every* point; on the next invocation,
@@ -172,6 +173,11 @@ class ResilientSweep:
         retry_failures_on_resume: when True, points recorded as
             failures in the checkpoint are attempted again on resume
             (completed points are never re-run).
+        backend: an :class:`~repro.analysis.backends.SerialBackend`
+            (default) or
+            :class:`~repro.analysis.backends.ProcessPoolBackend`
+            deciding where points execute. Checkpoint/failure semantics
+            are backend-independent.
 
     Example::
 
@@ -189,13 +195,19 @@ class ResilientSweep:
                  budget: Optional[RunBudget] = None,
                  checkpoint_path: Optional[str] = None,
                  retry_failures_on_resume: bool = False,
-                 progress: Optional[Callable[[str, str], None]] = None
-                 ) -> None:
+                 progress: Optional[Callable[[str, str], None]] = None,
+                 backend: Optional[object] = None) -> None:
         self.run_point = run_point
         self.budget = budget or RunBudget()
         self.checkpoint_path = checkpoint_path
         self.retry_failures_on_resume = retry_failures_on_resume
         self.progress = progress
+        if backend is None:
+            # Imported here: backends.py imports this module's budget
+            # and failure types.
+            from .backends import SerialBackend
+            backend = SerialBackend()
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -233,7 +245,7 @@ class ResilientSweep:
                                         suffix=".json")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=1)
+                json.dump(payload, fh, indent=1, sort_keys=True)
             os.replace(tmp_path, self.checkpoint_path)
         except BaseException:
             try:
@@ -248,7 +260,14 @@ class ResilientSweep:
 
     def run(self, points: Sequence[Tuple[str, Dict[str, Any]]]
             ) -> SweepOutcome:
-        """Execute every grid point, degrading gracefully on failures."""
+        """Execute every grid point, degrading gracefully on failures.
+
+        Points already present in the checkpoint are skipped; the rest
+        are handed to the execution backend (serially by default, or a
+        process pool). The checkpoint is rewritten after every finished
+        point regardless of backend, so an interrupted parallel sweep
+        resumes exactly like a serial one.
+        """
         keys = [key for key, _ in points]
         if len(set(keys)) != len(keys):
             raise ValueError("grid point keys must be unique")
@@ -256,33 +275,20 @@ class ResilientSweep:
         if self.retry_failures_on_resume:
             failures = []
         failed_keys = {f.key for f in failures}
-        resumed = 0
-        for key, params in points:
-            if key in completed or key in failed_keys:
-                resumed += 1
-                continue
-            self._note(key, "run")
-            start = time.monotonic()
-            attempts = 0
-
-            def attempt(budget: RunBudget) -> Any:
-                nonlocal attempts
-                attempts += 1
-                return self.run_point(params, budget)
-
-            try:
-                result = run_with_retry(attempt, self.budget)
-            except RECOVERABLE as exc:
-                failure = RunFailure(
-                    key=key, reason=type(exc).__name__,
-                    message=_first_line(exc), attempts=attempts,
-                    elapsed=time.monotonic() - start, params=params)
-                failures.append(failure)
-                failed_keys.add(key)
-                self._note(key, f"failed: {failure.reason}")
+        pending = [(key, params) for key, params in points
+                   if key not in completed and key not in failed_keys]
+        resumed = len(points) - len(pending)
+        for outcome in self.backend.execute(
+                self.run_point, pending, self.budget,
+                on_start=lambda key: self._note(key, "run")):
+            if outcome.failure is not None:
+                failures.append(outcome.failure)
+                failed_keys.add(outcome.key)
+                self._note(outcome.key,
+                           f"failed: {outcome.failure.reason}")
             else:
-                completed[key] = result
-                self._note(key, "ok")
+                completed[outcome.key] = outcome.result
+                self._note(outcome.key, "ok")
             self._write_checkpoint(completed, failures)
         return SweepOutcome(completed=completed, failures=failures,
                             resumed=resumed)

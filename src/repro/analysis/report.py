@@ -7,7 +7,7 @@ eyeball whether the *shape* reproduces (who wins, by what factor).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .. import units
 from ..sim.runner import FlowStats, RunResult

@@ -9,17 +9,34 @@ Sweeps run on the resilient harness (:mod:`repro.analysis.harness`): a
 divergent grid point is recorded as a :class:`RunFailure` on the
 returned curve instead of aborting the sweep, and an optional JSON
 checkpoint lets interrupted sweeps resume from the last completed rate.
+
+Execution is backend-pluggable (:mod:`repro.analysis.backends`). Name
+the CCA declaratively — a registry string or
+:class:`~repro.spec.CCASpec` — and the sweep ships each grid point to
+workers as a serialized :class:`~repro.spec.ScenarioSpec`, so
+``jobs=N`` scales with cores while staying bit-identical to a serial
+run (per-point seeds derive from the root ``seed`` and the grid key,
+never from execution order). Passing a live callable factory still
+works but is confined to the serial backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from .. import units
+from ..errors import ConfigurationError
+from ..spec import CCASpec, ScenarioSpec, derive_seed, single_flow_scenario
 from ..sim.network import FlowConfig, LinkConfig
 from ..sim.runner import run_scenario_full
+from .backends import SerialBackend, make_backend
 from .harness import ResilientSweep, RunBudget, RunFailure
+
+#: What callers may sweep: a registry name, a CCASpec, or (legacy,
+#: serial-only) a zero-argument live factory.
+CCALike = Union[str, CCASpec, Callable[[], object]]
 
 
 @dataclass
@@ -56,6 +73,17 @@ class RateDelayCurve:
     def worst_utilization(self) -> float:
         return min(p.utilization for p in self.points)
 
+    def to_json(self) -> Dict[str, Any]:
+        """Machine-readable curve (CLI ``--json``, CI comparisons)."""
+        return {
+            "label": self.label,
+            "rm": self.rm,
+            "points": [{"link_rate": p.link_rate, "d_min": p.d_min,
+                        "d_max": p.d_max, "throughput": p.throughput}
+                       for p in self.points],
+            "failures": [f.to_json() for f in self.failures],
+        }
+
 
 def default_run_time(rate: float, rm: float, mss: int) -> float:
     """Per-point run length scaled to the expected convergence time.
@@ -68,7 +96,33 @@ def default_run_time(rate: float, rm: float, mss: int) -> float:
     return min(run_time, 120.0)
 
 
-def sweep_rate_delay(cca_factory: Callable[[], object],
+def run_rate_delay_point(params: Dict[str, Any], budget: RunBudget
+                         ) -> Dict[str, float]:
+    """Execute one spec-described grid point (spawn-safe worker body).
+
+    ``params`` carries a serialized :class:`ScenarioSpec` plus the run
+    window — pure data, so this module-level function is all a process
+    pool needs to reproduce the point bit-for-bit.
+    """
+    spec = ScenarioSpec.from_json(params["scenario"])
+    result = spec.run(duration=params["duration"],
+                      warmup=params["warmup"],
+                      max_events=budget.max_events,
+                      wall_clock_budget=budget.wall_clock)
+    stats = result.stats[0]
+    return {"link_rate": spec.link.rate, "d_min": stats.min_rtt,
+            "d_max": stats.max_rtt, "throughput": stats.throughput}
+
+
+def _as_cca_spec(cca: CCALike) -> Optional[CCASpec]:
+    if isinstance(cca, CCASpec):
+        return cca
+    if isinstance(cca, str):
+        return CCASpec(cca)
+    return None
+
+
+def sweep_rate_delay(cca_factory: CCALike,
                      link_rates_mbps: Sequence[float], rm: float,
                      label: str = "",
                      duration: Optional[float] = None,
@@ -76,12 +130,20 @@ def sweep_rate_delay(cca_factory: Callable[[], object],
                      mss: int = 1500,
                      budget: Optional[RunBudget] = None,
                      checkpoint_path: Optional[str] = None,
-                     retry_failures: bool = False
+                     retry_failures: bool = False,
+                     backend: Optional[object] = None,
+                     jobs: Optional[int] = None,
+                     seed: int = 0,
+                     template: Optional[ScenarioSpec] = None
                      ) -> RateDelayCurve:
     """Measure the equilibrium RTT range across link rates.
 
     Args:
-        cca_factory: fresh CCA per run.
+        cca_factory: the CCA to sweep — a registry name (``"vegas"``),
+            a :class:`~repro.spec.CCASpec` (``CCASpec("bbr",
+            {"seed": 3})``), or a legacy zero-argument factory
+            (serial-only: live callables cannot cross process
+            boundaries).
         link_rates_mbps: sweep grid in Mbit/s (the paper uses
             0.1 .. 100).
         rm: propagation RTT (the paper's Figure 3 uses 100 ms).
@@ -95,32 +157,86 @@ def sweep_rate_delay(cca_factory: Callable[[], object],
         retry_failures: when resuming from a checkpoint, re-run rates
             previously recorded as failed (e.g. after raising the
             budget) instead of keeping their failure records.
+        backend: execution backend; defaults to serial (or to
+            ``make_backend(jobs)`` when ``jobs`` is given).
+        jobs: shorthand for ``backend=make_backend(jobs)`` — ``N > 1``
+            fans grid points out over N worker processes.
+        seed: root seed; each grid point derives its scenario seed from
+            ``(seed, point key)``, so results are independent of
+            execution order and backend.
+        template: optional :class:`ScenarioSpec` to sweep instead of a
+            fresh single-flow scenario — each grid point runs a copy of
+            the template with the bottleneck rate replaced (the curve
+            reports flow 0). Overrides ``cca_factory``/``mss``/``rm``'s
+            scenario-building role (``rm`` still labels the curve).
     """
-    def run_point(params: Dict[str, object], point_budget: RunBudget
-                  ) -> Dict[str, float]:
-        rate = units.mbps(float(params["rate_mbps"]))
-        run_time = duration
-        if run_time is None:
-            run_time = default_run_time(rate, rm, mss)
-        result = run_scenario_full(
-            LinkConfig(rate=rate),
-            [FlowConfig(cca_factory=cca_factory, rm=rm, mss=mss)],
-            duration=run_time, warmup=run_time * warmup_fraction,
-            max_events=point_budget.max_events,
-            wall_clock_budget=point_budget.wall_clock)
-        stats = result.stats[0]
-        return {"link_rate": rate, "d_min": stats.min_rtt,
-                "d_max": stats.max_rtt, "throughput": stats.throughput}
+    if backend is None:
+        backend = make_backend(jobs)
+    elif jobs is not None:
+        raise ConfigurationError("pass backend or jobs, not both")
+
+    spec = None if template is not None else _as_cca_spec(cca_factory)
+    grid = [(f"{rate_mbps:g}mbps", float(rate_mbps))
+            for rate_mbps in link_rates_mbps]
+
+    if spec is not None or template is not None:
+        run_point = run_rate_delay_point
+        points: List[Tuple[str, Dict[str, Any]]] = []
+        for key, rate_mbps in grid:
+            rate = units.mbps(rate_mbps)
+            run_time = duration
+            if run_time is None:
+                run_time = default_run_time(rate, rm, mss)
+            if template is not None:
+                point_spec = template.with_link_rate(rate)
+            else:
+                point_spec = single_flow_scenario(spec, rate=rate, rm=rm,
+                                                  mss=mss)
+            point_spec = point_spec.with_seed(
+                derive_seed(seed, "sweep", key))
+            points.append((key, {
+                "scenario": point_spec.to_json(),
+                "duration": run_time,
+                "warmup": run_time * warmup_fraction,
+            }))
+        if not label:
+            label = spec.name if spec is not None else "scenario"
+    else:
+        # Legacy path: a live factory closure. Works, but only serially.
+        if not isinstance(backend, SerialBackend):
+            raise ConfigurationError(
+                "parallel sweeps need a declarative CCA (a registry "
+                "name or CCASpec), not a live factory callable — "
+                "closures cannot cross process boundaries")
+
+        def run_point(params: Dict[str, object],
+                      point_budget: RunBudget) -> Dict[str, float]:
+            rate = units.mbps(float(params["rate_mbps"]))
+            run_time = duration
+            if run_time is None:
+                run_time = default_run_time(rate, rm, mss)
+            result = run_scenario_full(
+                LinkConfig(rate=rate),
+                [FlowConfig(cca_factory=cca_factory, rm=rm, mss=mss)],
+                duration=run_time, warmup=run_time * warmup_fraction,
+                max_events=point_budget.max_events,
+                wall_clock_budget=point_budget.wall_clock)
+            stats = result.stats[0]
+            return {"link_rate": rate, "d_min": stats.min_rtt,
+                    "d_max": stats.max_rtt,
+                    "throughput": stats.throughput}
+
+        points = [(key, {"rate_mbps": rate_mbps})
+                  for key, rate_mbps in grid]
 
     sweep = ResilientSweep(run_point, budget=budget,
                            checkpoint_path=checkpoint_path,
-                           retry_failures_on_resume=retry_failures)
-    grid = [(f"{rate_mbps:g}mbps", {"rate_mbps": float(rate_mbps)})
-            for rate_mbps in link_rates_mbps]
-    outcome = sweep.run(grid)
-    points = [RateDelayPoint(**outcome.completed[key])
-              for key, _ in grid if key in outcome.completed]
-    return RateDelayCurve(label=label, rm=rm, points=points,
+                           retry_failures_on_resume=retry_failures,
+                           backend=backend)
+    outcome = sweep.run(points)
+    curve_points = [RateDelayPoint(**outcome.completed[key])
+                    for key, _ in points if key in outcome.completed]
+    return RateDelayCurve(label=label, rm=rm, points=curve_points,
                           failures=list(outcome.failures))
 
 

@@ -44,10 +44,16 @@ class Allegro(MonitorIntervalCCA):
     Args:
         initial_rate: starting rate, bytes/s.
         loss_threshold: the sigmoid's center (paper default 5%).
+        seed: shuffles the RCT's up/down MI order. Any int replays the
+            exact same trial order; ``None`` draws OS entropy and makes
+            the run irreproducible (never the default — scenario specs
+            derive a per-flow seed from the root seed instead, see
+            :mod:`repro.spec.seeds`).
     """
 
     def __init__(self, initial_rate: float = units.mbps(1.0),
-                 loss_threshold: float = 0.05, seed: int = 0) -> None:
+                 loss_threshold: float = 0.05,
+                 seed: Optional[int] = 0) -> None:
         super().__init__(initial_rate=initial_rate, min_mi_packets=100)
         self.loss_threshold = loss_threshold
         self.base_rate = initial_rate

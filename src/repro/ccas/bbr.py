@@ -45,14 +45,20 @@ class BBR(CCA):
             "quanta"); setting it to 0 reproduces the degenerate
             any-split fixed point discussed in Section 5.2.
         cwnd_gain: multiplier on BDP for the cwnd cap (2 in BBR v1).
-        seed: randomizes the initial PROBE_BW phase (flow desynchronization).
+        seed: randomizes the initial PROBE_BW phase (flow
+            desynchronization). Any int replays the exact same phase
+            sequence; ``None`` draws OS entropy and makes the run
+            irreproducible (never the default — scenario specs derive a
+            per-flow seed from the root seed instead, see
+            :mod:`repro.spec.seeds`).
         enable_probe_rtt: disable to model senders with oracular Rm.
     """
 
     STARTUP, DRAIN, PROBE_BW, PROBE_RTT = range(4)
 
     def __init__(self, quanta_packets: float = 3.0, cwnd_gain: float = 2.0,
-                 seed: int = 0, enable_probe_rtt: bool = True) -> None:
+                 seed: Optional[int] = 0,
+                 enable_probe_rtt: bool = True) -> None:
         super().__init__()
         self.quanta_packets = quanta_packets
         self.cwnd_gain = cwnd_gain

@@ -22,7 +22,6 @@ Two timing details matter and are easy to get wrong:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Tuple
 
 from ..sim.packet import AckInfo

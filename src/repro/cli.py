@@ -6,47 +6,42 @@ Installed as the ``repro`` console script::
     repro run --rate 120 --rm 59 --cca copa:poison --cca copa:jitter1
     repro run --rate 48 --rm 40 --cca bbr:blackout5-7 --cca bbr
     repro run --rate 48 --rm 40 --cca reno --cca reno --link-ge 0.02
+    repro run --rate 48 --rm 40 --cca vegas --dump-spec > scenario.json
+    repro run --spec scenario.json
     repro sweep --cca bbr --rates 0.4,2,10,50 --rm 50
+    repro sweep --cca bbr --rates 0.4,2,10,50 --jobs 4 --json curve.json
     repro sweep --cca bbr --rates 0.4,2,10,50 --checkpoint sweep.json
     repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
     repro theorem 1|2|3
 
+Flow-spec strings and ``--link-*`` flags are sugar over the declarative
+:mod:`repro.spec` layer: every invocation first assembles a
+:class:`~repro.spec.ScenarioSpec` (inspect it with ``--dump-spec``,
+replay it with ``--spec``), then hands it to an execution backend —
+``--jobs N`` fans independent scenarios or sweep points out over N
+worker processes with bit-identical results.
+
 Every command prints an ASCII report; nothing is written to disk unless
-``--checkpoint`` asks for resumable sweep progress.
+``--checkpoint``/``--json``/``--dump-spec`` redirection asks for it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from . import units
 from .errors import ConfigurationError
+from .analysis.backends import make_backend
 from .analysis.harness import RunBudget, describe_failures
 from .analysis.report import describe_run, rate_delay_ascii
 from .analysis.sweep import sweep_rate_delay
 from .analysis import starvation
-from .ccas import (BBR, Allegro, Copa, Cubic, DelayAimd, EcnAimd, FastTCP,
-                   JitterAware, Ledbat, NewReno, Vegas, Vivace)
-from .sim import FaultSchedule, FlowConfig, LinkConfig, run_scenario_full
-from .sim.jitter import (AckAggregationJitter, ConstantJitter,
-                         ExemptFirstJitter)
-
-CCA_FACTORIES = {
-    "vegas": Vegas,
-    "fast": FastTCP,
-    "copa": Copa,
-    "bbr": lambda: BBR(seed=1),
-    "vivace": Vivace,
-    "allegro": lambda: Allegro(seed=1),
-    "reno": NewReno,
-    "cubic": Cubic,
-    "ledbat": Ledbat,
-    "delay-aimd": DelayAimd,
-    "ecn-aimd": EcnAimd,
-    "jitter-aware": lambda: JitterAware(jitter_bound=units.ms(10)),
-}
+from .ccas import registry
+from .spec import (CCASpec, ElementSpec, FaultScheduleSpec,
+                   FaultWindowSpec, FlowSpec, LinkSpec, ScenarioSpec)
 
 STARVE_SCENARIOS = {
     "copa": lambda: starvation.copa_two_flow_poisoned(duration=30.0),
@@ -73,8 +68,8 @@ def _parse_window(text: str, what: str) -> tuple:
 
 
 def parse_flow_spec(spec: str, rm: float,
-                    fault_seed: int = 0) -> FlowConfig:
-    """Parse ``cca[:modifier[:modifier...]]`` into a FlowConfig.
+                    fault_seed: Optional[int] = None) -> FlowSpec:
+    """Parse ``cca[:modifier[:modifier...]]`` into a declarative FlowSpec.
 
     ACK-path modifiers: ``poison`` (min-RTT poisoning, 1 ms),
     ``poisonN`` (N ms), ``jitterN`` (constant N ms), ``aggN`` (ACK
@@ -87,15 +82,20 @@ def parse_flow_spec(spec: str, rm: float,
     ``reorderP`` (delay-swap reordering with probability P),
     ``dupP`` (duplication with probability P),
     ``corruptP`` (corruption-drop with probability P).
+
+    ``fault_seed`` pins the flow's fault-schedule RNG explicitly
+    (``--fault-seed`` semantics); ``None`` derives it from the scenario
+    root seed.
     """
     name, _, rest = spec.partition(":")
-    if name not in CCA_FACTORIES:
+    if not registry.is_registered(name):
         raise SystemExit(
             f"unknown CCA {name!r}; choose from "
-            f"{', '.join(sorted(CCA_FACTORIES))}")
-    config = dict(cca_factory=CCA_FACTORIES[name], rm=rm, label=spec)
-    ack_elements: list = []
-    faults = FaultSchedule(seed=fault_seed)
+            f"{', '.join(registry.names())}")
+    ack_elements: List[ElementSpec] = []
+    windows: List[FaultWindowSpec] = []
+    ack_every = 1
+    ack_timeout: Optional[float] = None
     horizon = float("inf")  # always-on faults use an unbounded window
     for modifier in (m for m in rest.split(":") if m):
         # ValueError (bad number) and ConfigurationError (bad window /
@@ -104,91 +104,208 @@ def parse_flow_spec(spec: str, rm: float,
         try:
             if modifier.startswith("poison"):
                 amount = units.ms(float(modifier[6:] or 1.0))
-                ack_elements.append(
-                    lambda sim, sink, a=amount: ExemptFirstJitter(
-                        sim, sink, a, exempt_seqs=[0]))
+                ack_elements.append(ElementSpec(
+                    "exempt_first_jitter",
+                    {"eta": amount, "exempt_seqs": [0]}))
             elif modifier.startswith("jitter"):
                 amount = units.ms(float(modifier[6:]))
-                ack_elements.append(
-                    lambda sim, sink, a=amount: ConstantJitter(
-                        sim, sink, a))
+                ack_elements.append(ElementSpec(
+                    "constant_jitter", {"eta": amount}))
             elif modifier.startswith("agg"):
                 amount = units.ms(float(modifier[3:]))
-                ack_elements.append(
-                    lambda sim, sink, a=amount: AckAggregationJitter(
-                        sim, sink, a))
+                ack_elements.append(ElementSpec(
+                    "ack_aggregation", {"period": amount}))
             elif modifier.startswith("delack"):
-                config["ack_every"] = int(modifier[6:])
-                config["ack_timeout"] = units.ms(200)
+                ack_every = int(modifier[6:])
+                ack_timeout = units.ms(200)
             elif modifier.startswith("ge"):
-                faults.gilbert_elliott(0.0, horizon,
-                                       mean_loss=float(modifier[2:]))
+                windows.append(FaultWindowSpec(
+                    "gilbert_elliott", 0.0, horizon,
+                    {"mean_loss": float(modifier[2:])}))
             elif modifier.startswith("blackout"):
                 start, end = _parse_window(modifier[8:], "blackout")
-                faults.blackout(start, end)
+                windows.append(FaultWindowSpec("blackout", start, end))
             elif modifier.startswith("flap"):
                 period, down = _parse_window(modifier[4:], "flap")
-                faults.flap(0.0, horizon, period=period, down_time=down)
+                windows.append(FaultWindowSpec(
+                    "flap", 0.0, horizon,
+                    {"period": period, "down_time": down}))
             elif modifier.startswith("reorder"):
-                faults.reorder(0.0, horizon, prob=float(modifier[7:]),
-                               extra_delay=units.ms(10))
+                windows.append(FaultWindowSpec(
+                    "reorder", 0.0, horizon,
+                    {"prob": float(modifier[7:]),
+                     "extra_delay": units.ms(10)}))
             elif modifier.startswith("dup"):
-                faults.duplicate(0.0, horizon, prob=float(modifier[3:]))
+                windows.append(FaultWindowSpec(
+                    "duplicate", 0.0, horizon,
+                    {"prob": float(modifier[3:])}))
             elif modifier.startswith("corrupt"):
-                faults.corrupt(0.0, horizon, prob=float(modifier[7:]))
+                windows.append(FaultWindowSpec(
+                    "corrupt", 0.0, horizon,
+                    {"prob": float(modifier[7:])}))
             else:
                 raise SystemExit(f"unknown flow modifier {modifier!r}")
         except (ValueError, ConfigurationError) as exc:
             raise SystemExit(f"bad flow modifier {modifier!r}: {exc}")
-    if ack_elements:
-        config["ack_elements"] = ack_elements
-    if faults.windows:
-        config["fault_schedule"] = faults
-    return FlowConfig(**config)
+    faults = None
+    if windows:
+        faults = FaultScheduleSpec(windows=tuple(windows),
+                                   seed=fault_seed)
+        try:
+            faults.build(0)  # validate window params now, not mid-run
+        except ConfigurationError as exc:
+            raise SystemExit(f"bad flow spec {spec!r}: {exc}")
+    return FlowSpec(cca=CCASpec(name), rm=rm,
+                    ack_elements=tuple(ack_elements),
+                    ack_every=ack_every, ack_timeout=ack_timeout,
+                    faults=faults, label=spec)
 
 
-def parse_link_faults(args: argparse.Namespace) -> Optional[FaultSchedule]:
-    """Assemble the shared-bottleneck FaultSchedule from CLI flags."""
-    faults = FaultSchedule(seed=args.fault_seed)
+def parse_link_faults(args: argparse.Namespace
+                      ) -> Optional[FaultScheduleSpec]:
+    """Assemble the shared-bottleneck fault spec from CLI flags."""
+    windows: List[FaultWindowSpec] = []
     horizon = float("inf")
     for window in args.link_blackout or ():
         start, end = _parse_window(window, "--link-blackout")
-        faults.blackout(start, end)
+        windows.append(FaultWindowSpec("blackout", start, end))
     if args.link_flap:
         period, down = _parse_window(args.link_flap, "--link-flap")
-        faults.flap(0.0, horizon, period=period, down_time=down)
+        windows.append(FaultWindowSpec(
+            "flap", 0.0, horizon,
+            {"period": period, "down_time": down}))
     if args.link_ge:
-        faults.gilbert_elliott(0.0, horizon, mean_loss=args.link_ge)
-    return faults if faults.windows else None
+        windows.append(FaultWindowSpec(
+            "gilbert_elliott", 0.0, horizon,
+            {"mean_loss": args.link_ge}))
+    if not windows:
+        return None
+    faults = FaultScheduleSpec(windows=tuple(windows),
+                               seed=args.fault_seed)
+    try:
+        faults.build(0)
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad link fault flags: {exc}")
+    return faults
+
+
+def _specs_from_args(args: argparse.Namespace
+                     ) -> List[Tuple[str, ScenarioSpec]]:
+    """The scenarios ``repro run`` should execute, as (title, spec)."""
+    if args.spec:
+        if args.cca:
+            raise SystemExit("pass --spec files or --cca flow specs, "
+                             "not both")
+        specs = []
+        for path in args.spec:
+            try:
+                spec = ScenarioSpec.load(path)
+            except ConfigurationError as exc:
+                raise SystemExit(str(exc))
+            if args.seed is not None:
+                spec = spec.with_seed(args.seed)
+            specs.append((path, spec))
+        return specs
+    if not args.cca or args.rate is None or args.rm is None:
+        raise SystemExit(
+            "run needs --rate, --rm and at least one --cca "
+            "(or --spec FILE)")
+    rm = units.ms(args.rm)
+    flows = tuple(
+        parse_flow_spec(spec, rm, fault_seed=args.fault_seed + i)
+        for i, spec in enumerate(args.cca))
+    link = LinkSpec(rate=units.mbps(args.rate),
+                    buffer_bdp=args.buffer_bdp if args.buffer_bdp
+                    else None,
+                    faults=parse_link_faults(args))
+    spec = ScenarioSpec(link=link, flows=flows,
+                        seed=args.seed if args.seed is not None else 0)
+    return [(f"{args.rate} Mbit/s, Rm = {args.rm} ms", spec)]
+
+
+def _run_spec_point(params: Dict[str, Any], budget: RunBudget
+                    ) -> Dict[str, str]:
+    """Worker body for ``repro run``: build, run, format the report.
+
+    Module-level and spec-driven so ``--jobs N`` can ship scenarios to
+    worker processes; the formatted report string comes back instead of
+    the (unpicklable) live RunResult.
+    """
+    spec = ScenarioSpec.from_json(params["scenario"])
+    result = spec.run(duration=params["duration"],
+                      warmup=params["warmup"],
+                      max_events=budget.max_events,
+                      wall_clock_budget=budget.wall_clock)
+    return {"report": describe_run(params["title"], result)}
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    rm = units.ms(args.rm)
-    flows = [parse_flow_spec(spec, rm, fault_seed=args.fault_seed + i)
-             for i, spec in enumerate(args.cca)]
-    buffer_bdp = args.buffer_bdp if args.buffer_bdp else None
-    link = LinkConfig(rate=units.mbps(args.rate), buffer_bdp=buffer_bdp,
-                      fault_schedule=parse_link_faults(args))
-    result = run_scenario_full(link, flows, duration=args.duration,
-                               warmup=args.duration / 3,
-                               max_events=args.max_events)
-    print(describe_run(
-        f"{args.rate} Mbit/s, Rm = {args.rm} ms, "
-        f"{args.duration:.0f} s", result))
+    specs = _specs_from_args(args)
+    if args.dump_spec:
+        for _, spec in specs:
+            print(spec.dumps())
+        return 0
+    points = []
+    for i, (name, spec) in enumerate(specs):
+        duration = args.duration
+        if duration is None:
+            duration = spec.duration
+        if duration is None:
+            duration = 30.0
+        warmup = spec.warmup
+        if warmup is None:
+            warmup = duration / 3
+        points.append((f"{i}:{name}", {
+            "scenario": spec.to_json(),
+            "duration": duration,
+            "warmup": warmup,
+            "title": f"{name}, {duration:.0f} s",
+        }))
+    backend = make_backend(args.jobs)
+    budget = RunBudget(max_events=args.max_events, wall_clock=None,
+                       retries=0)
+    reports: Dict[str, str] = {}
+    failures = []
+    for outcome in backend.execute(_run_spec_point, points, budget):
+        if outcome.failure is not None:
+            failures.append(outcome.failure)
+        else:
+            reports[outcome.key] = outcome.result["report"]
+    for key, _ in points:
+        if key in reports:
+            print(reports[key])
+    if failures:
+        print(f"{len(failures)} scenario(s) failed:")
+        print(describe_failures(failures))
+        return 1
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    if args.cca not in CCA_FACTORIES:
-        raise SystemExit(f"unknown CCA {args.cca!r}")
+    if not registry.is_registered(args.cca):
+        raise SystemExit(
+            f"unknown CCA {args.cca!r}; choose from "
+            f"{', '.join(registry.names())}")
+    template = None
+    if args.spec:
+        try:
+            template = ScenarioSpec.load(args.spec)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc))
     grid = [float(x) for x in args.rates.split(",")]
-    curve = sweep_rate_delay(CCA_FACTORIES[args.cca], grid,
+    curve = sweep_rate_delay(args.cca, grid,
                              units.ms(args.rm), label=args.cca,
                              duration=args.duration,
                              budget=RunBudget(max_events=args.max_events,
                                               wall_clock=args.wall_clock),
                              checkpoint_path=args.checkpoint,
-                             retry_failures=args.retry_failures)
+                             retry_failures=args.retry_failures,
+                             jobs=args.jobs, seed=args.seed,
+                             template=template)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(curve.to_json(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
     if not curve.points:
         print("every grid point failed:")
         print(describe_failures(curve.failures))
@@ -202,14 +319,40 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_starve_point(params: Dict[str, Any], budget: RunBudget
+                      ) -> Dict[str, str]:
+    """Worker body for ``repro starve``: scenarios are named, not
+    pickled — the worker looks the closure up in its own process."""
+    name = params["scenario"]
+    result = STARVE_SCENARIOS[name]()
+    return {"report": describe_run(f"Section 5 scenario: {name}",
+                                   result)}
+
+
 def cmd_starve(args: argparse.Namespace) -> int:
-    runner = STARVE_SCENARIOS.get(args.scenario)
-    if runner is None:
-        raise SystemExit(
-            f"unknown scenario {args.scenario!r}; choose from "
-            f"{', '.join(sorted(STARVE_SCENARIOS))}")
-    result = runner()
-    print(describe_run(f"Section 5 scenario: {args.scenario}", result))
+    names = list(dict.fromkeys(args.scenario))
+    for name in names:
+        if name not in STARVE_SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {name!r}; choose from "
+                f"{', '.join(sorted(STARVE_SCENARIOS))}")
+    backend = make_backend(args.jobs)
+    budget = RunBudget(max_events=None, wall_clock=None, retries=0)
+    points = [(name, {"scenario": name}) for name in names]
+    reports: Dict[str, str] = {}
+    failures = []
+    for outcome in backend.execute(_run_starve_point, points, budget):
+        if outcome.failure is not None:
+            failures.append(outcome.failure)
+        else:
+            reports[outcome.key] = outcome.result["report"]
+    for name in names:
+        if name in reports:
+            print(reports[name])
+    if failures:
+        print(f"{len(failures)} scenario(s) failed:")
+        print(describe_failures(failures))
+        return 1
     return 0
 
 
@@ -265,13 +408,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run a dumbbell scenario")
-    run_parser.add_argument("--rate", type=float, required=True,
+    run_parser.add_argument("--rate", type=float, default=None,
                             help="bottleneck rate, Mbit/s")
-    run_parser.add_argument("--rm", type=float, required=True,
+    run_parser.add_argument("--rm", type=float, default=None,
                             help="propagation RTT, ms")
-    run_parser.add_argument("--cca", action="append", required=True,
+    run_parser.add_argument("--cca", action="append",
                             help="flow spec: name[:modifier]; repeatable")
-    run_parser.add_argument("--duration", type=float, default=30.0)
+    run_parser.add_argument(
+        "--spec", action="append", metavar="FILE",
+        help="run a serialized ScenarioSpec JSON file instead of "
+             "--rate/--rm/--cca flags; repeatable")
+    run_parser.add_argument(
+        "--dump-spec", action="store_true",
+        help="print the assembled ScenarioSpec JSON and exit "
+             "without running")
+    run_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="run length in seconds (default: the spec's embedded "
+             "duration, else 30)")
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="scenario root seed; every component RNG derives from it "
+             "(default 0, or the spec file's embedded seed)")
+    run_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="run multiple scenarios (--spec/--cca sets) in N worker "
+             "processes")
     run_parser.add_argument(
         "--buffer-bdp", type=float, default=4.0,
         help="droptail buffer as a multiple of the BDP (default 4; "
@@ -300,6 +462,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--rm", type=float, default=50.0)
     sweep_parser.add_argument("--duration", type=float, default=None)
     sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="run grid points in N worker processes (bit-identical "
+             "to serial)")
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; per-point scenario seeds derive from it")
+    sweep_parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="sweep a ScenarioSpec template: each grid point runs the "
+             "template with its bottleneck rate replaced")
+    sweep_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the curve (points + failures) as JSON")
+    sweep_parser.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="JSON checkpoint; re-invoking resumes completed points")
     sweep_parser.add_argument(
@@ -315,9 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.set_defaults(func=cmd_sweep)
 
     starve_parser = sub.add_parser(
-        "starve", help="run a Section 5 starvation scenario")
-    starve_parser.add_argument("scenario",
+        "starve", help="run Section 5 starvation scenarios")
+    starve_parser.add_argument("scenario", nargs="+",
                                choices=sorted(STARVE_SCENARIOS))
+    starve_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="run multiple scenarios in N worker processes")
     starve_parser.set_defaults(func=cmd_starve)
 
     theorem_parser = sub.add_parser(

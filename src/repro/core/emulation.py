@@ -16,9 +16,8 @@ trajectories stay within a common interval of width delta_max + eps.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable
 
 import numpy as np
 

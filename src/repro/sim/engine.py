@@ -160,8 +160,19 @@ class Simulator:
         if self.now < until:
             self.now = until
 
-    def run_all(self, max_events: int = 50_000_000) -> None:
-        """Run until the event queue is empty (bounded by ``max_events``)."""
+    def run_all(self, max_events: int = 50_000_000,
+                wall_clock_budget: Optional[float] = None) -> None:
+        """Run until the event queue is empty.
+
+        The same watchdogs as :meth:`run` apply: ``max_events`` bounds
+        the number of executed events and ``wall_clock_budget`` bounds
+        real seconds (checked every ``_WALL_CHECK_INTERVAL`` events).
+        Either limit aborts with a structured
+        :class:`BudgetExceededError` whose ``kind`` says which budget
+        fired.
+        """
+        wall_start = time.monotonic() if wall_clock_budget is not None \
+            else 0.0
         count = 0
         while self.step():
             count += 1
@@ -170,3 +181,13 @@ class Simulator:
                     f"exceeded {max_events} events; likely a runaway loop",
                     kind="events", limit=max_events, value=count,
                     sim_time=self.now)
+            if (wall_clock_budget is not None
+                    and count % _WALL_CHECK_INTERVAL == 0):
+                elapsed = time.monotonic() - wall_start
+                if elapsed > wall_clock_budget:
+                    raise BudgetExceededError(
+                        f"run_all exceeded wall-clock budget of "
+                        f"{wall_clock_budget:.1f}s after {elapsed:.1f}s "
+                        f"at t={self.now:.6f}s",
+                        kind="wall_clock", limit=wall_clock_budget,
+                        value=elapsed, sim_time=self.now)

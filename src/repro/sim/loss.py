@@ -7,7 +7,7 @@ random loss rate while the other sees none.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..errors import ConfigurationError
 from .engine import Simulator

@@ -9,7 +9,7 @@ into such a pipeline.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..errors import ConfigurationError
 from .engine import Simulator

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from .network import (BuiltFlow, FlowConfig, LinkConfig, Scenario,
+from .network import (FlowConfig, LinkConfig, Scenario,
                       build_dumbbell)
 
 

@@ -1,0 +1,356 @@
+"""ScenarioSpec: the declarative, serializable scenario description.
+
+This is the canonical "what to run" layer. A :class:`ScenarioSpec` is
+pure data — CCAs by registry name, path elements and faults by catalog
+kind, one root ``seed`` — and round-trips losslessly through JSON. The
+existing :mod:`repro.sim.network` configs (``FlowConfig``/``LinkConfig``
+with their live callables) become the *build* layer: they are produced
+on demand by :meth:`ScenarioSpec.to_configs`, in whatever process the
+scenario actually runs.
+
+Why this split matters (see docs/ARCHITECTURE.md): live callables can't
+cross a process boundary, so sweeps were welded to serial execution.
+A spec pickles trivially (it's dicts and floats all the way down), which
+is what lets :class:`repro.analysis.backends.ProcessPoolBackend` fan
+grid points out across cores while keeping results bit-identical to a
+serial run — every RNG seed is derived from the root seed and the
+component's position, never from execution order.
+
+Seed derivation tree (root ``seed`` = S)::
+
+    flow i's CCA          derive_seed(S, "flow", i, "cca")
+    flow i data elem j    derive_seed(S, "flow", i, "data", j)
+    flow i ack  elem j    derive_seed(S, "flow", i, "ack", j)
+    flow i fault windows  derive_seed(S, "flow", i, "faults")
+    link fault windows    derive_seed(S, "link", "faults")
+
+An explicit ``seed`` inside a CCA's params, an element's params, or a
+fault schedule always overrides the derived one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..ccas import registry
+from ..errors import ConfigurationError
+from ..sim.network import (FlowConfig, LinkConfig, Scenario,
+                           build_dumbbell)
+from ..sim.runner import RunResult, run_scenario_full
+from .elements import ElementSpec, FaultScheduleSpec, _normalize
+from .seeds import derive_seed
+
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CCASpec:
+    """A CCA by registry name plus constructor kwargs.
+
+    ``CCASpec("bbr", {"seed": 3})`` pins BBR's probe-phase seed;
+    ``CCASpec("bbr")`` leaves it to the scenario root seed.
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        registry.entry(self.name)  # fail fast on unknown names
+        object.__setattr__(self, "params", _normalize(self.params))
+
+    def make_factory(self, seed: Optional[int] = None
+                     ) -> Callable[[], object]:
+        """A zero-argument factory as ``FlowConfig.cca_factory`` wants."""
+        name, params = self.name, dict(self.params)
+        return lambda: registry.create(name, params, seed=seed)
+
+    def create(self, seed: Optional[int] = None) -> object:
+        return registry.create(self.name, dict(self.params), seed=seed)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "CCASpec":
+        return cls(name=data["name"], params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow, declaratively (mirror of the build layer's FlowConfig)."""
+
+    cca: CCASpec
+    rm: float
+    start_time: float = 0.0
+    mss: int = 1500
+    data_elements: Tuple[ElementSpec, ...] = ()
+    ack_elements: Tuple[ElementSpec, ...] = ()
+    ack_every: int = 1
+    ack_timeout: Optional[float] = None
+    burst_size: int = 1
+    faults: Optional[FaultScheduleSpec] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rm <= 0:
+            raise ConfigurationError(f"rm must be > 0, got {self.rm}")
+        if self.mss <= 0:
+            raise ConfigurationError(f"mss must be > 0, got {self.mss}")
+        if self.start_time < 0:
+            raise ConfigurationError(
+                f"start_time must be >= 0, got {self.start_time}")
+        object.__setattr__(self, "data_elements",
+                           tuple(self.data_elements))
+        object.__setattr__(self, "ack_elements",
+                           tuple(self.ack_elements))
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "cca": self.cca.to_json(),
+            "rm": self.rm,
+            "start_time": self.start_time,
+            "mss": self.mss,
+            "data_elements": [e.to_json() for e in self.data_elements],
+            "ack_elements": [e.to_json() for e in self.ack_elements],
+            "ack_every": self.ack_every,
+            "ack_timeout": self.ack_timeout,
+            "burst_size": self.burst_size,
+            "label": self.label,
+        }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_json()
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FlowSpec":
+        faults = data.get("faults")
+        return cls(
+            cca=CCASpec.from_json(data["cca"]),
+            rm=data["rm"],
+            start_time=data.get("start_time", 0.0),
+            mss=data.get("mss", 1500),
+            data_elements=tuple(ElementSpec.from_json(e)
+                                for e in data.get("data_elements", [])),
+            ack_elements=tuple(ElementSpec.from_json(e)
+                               for e in data.get("ack_elements", [])),
+            ack_every=data.get("ack_every", 1),
+            ack_timeout=data.get("ack_timeout"),
+            burst_size=data.get("burst_size", 1),
+            faults=(FaultScheduleSpec.from_json(faults)
+                    if faults is not None else None),
+            label=data.get("label", ""),
+        )
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """The shared bottleneck, declaratively (mirror of LinkConfig)."""
+
+    rate: float
+    buffer_bytes: Optional[float] = None
+    buffer_bdp: Optional[float] = None
+    ecn_threshold_bytes: Optional[float] = None
+    faults: Optional[FaultScheduleSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(
+                f"link rate must be > 0 bytes/s, got {self.rate}")
+        if self.buffer_bytes is not None and self.buffer_bdp is not None:
+            raise ConfigurationError(
+                "specify buffer_bytes or buffer_bdp, not both")
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "rate": self.rate,
+            "buffer_bytes": self.buffer_bytes,
+            "buffer_bdp": self.buffer_bdp,
+            "ecn_threshold_bytes": self.ecn_threshold_bytes,
+        }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_json()
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "LinkSpec":
+        faults = data.get("faults")
+        return cls(
+            rate=data["rate"],
+            buffer_bytes=data.get("buffer_bytes"),
+            buffer_bdp=data.get("buffer_bdp"),
+            ecn_threshold_bytes=data.get("ecn_threshold_bytes"),
+            faults=(FaultScheduleSpec.from_json(faults)
+                    if faults is not None else None),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable scenario: link + flows + root seed.
+
+    ``duration``/``warmup``/``sample_interval`` are optional embedded
+    run parameters so a JSON file is self-contained for ``repro run
+    --spec``; callers may override them at :meth:`run` time.
+    """
+
+    link: LinkSpec
+    flows: Tuple[FlowSpec, ...]
+    seed: int = 0
+    duration: Optional[float] = None
+    warmup: Optional[float] = None
+    sample_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "flows", tuple(self.flows))
+        if not self.flows:
+            raise ConfigurationError("scenario needs at least one flow")
+
+    # ------------------------------------------------------------------
+    # Build layer
+    # ------------------------------------------------------------------
+
+    def to_configs(self) -> Tuple[LinkConfig, List[FlowConfig]]:
+        """Materialize the live build-layer configs (with callables)."""
+        flow_configs: List[FlowConfig] = []
+        for i, flow in enumerate(self.flows):
+            cca_factory = flow.cca.make_factory(
+                seed=derive_seed(self.seed, "flow", i, "cca"))
+            data = tuple(
+                element.factory(derive_seed(self.seed, "flow", i,
+                                            "data", j))
+                for j, element in enumerate(flow.data_elements))
+            ack = tuple(
+                element.factory(derive_seed(self.seed, "flow", i,
+                                            "ack", j))
+                for j, element in enumerate(flow.ack_elements))
+            faults = None
+            if flow.faults is not None and flow.faults.windows:
+                faults = flow.faults.build(
+                    derive_seed(self.seed, "flow", i, "faults"))
+            flow_configs.append(FlowConfig(
+                cca_factory=cca_factory, rm=flow.rm,
+                start_time=flow.start_time, mss=flow.mss,
+                data_elements=data, ack_elements=ack,
+                ack_every=flow.ack_every, ack_timeout=flow.ack_timeout,
+                burst_size=flow.burst_size, fault_schedule=faults,
+                label=flow.label or f"{flow.cca.name}#{i}"))
+        link_faults = None
+        if self.link.faults is not None and self.link.faults.windows:
+            link_faults = self.link.faults.build(
+                derive_seed(self.seed, "link", "faults"))
+        link_config = LinkConfig(
+            rate=self.link.rate, buffer_bytes=self.link.buffer_bytes,
+            buffer_bdp=self.link.buffer_bdp,
+            ecn_threshold_bytes=self.link.ecn_threshold_bytes,
+            fault_schedule=link_faults)
+        return link_config, flow_configs
+
+    def build(self, sample_interval: Optional[float] = None) -> Scenario:
+        """Produce the live :class:`Scenario` (build layer output)."""
+        link, flows = self.to_configs()
+        interval = sample_interval
+        if interval is None:
+            interval = self.sample_interval
+        if interval is None:
+            interval = 0.05
+        return build_dumbbell(link, flows, sample_interval=interval)
+
+    def run(self, duration: Optional[float] = None,
+            warmup: Optional[float] = None,
+            sample_interval: Optional[float] = None,
+            max_events: Optional[int] = None,
+            wall_clock_budget: Optional[float] = None) -> RunResult:
+        """Build and run; arguments override the spec's embedded values."""
+        run_duration = duration if duration is not None else self.duration
+        if run_duration is None:
+            raise ConfigurationError(
+                "no duration: pass run(duration=...) or set it on the spec")
+        run_warmup = warmup if warmup is not None else self.warmup
+        if run_warmup is None:
+            run_warmup = 0.0
+        interval = (sample_interval if sample_interval is not None
+                    else self.sample_interval)
+        link, flows = self.to_configs()
+        return run_scenario_full(
+            link, flows, duration=run_duration, warmup=run_warmup,
+            sample_interval=interval, max_events=max_events,
+            wall_clock_budget=wall_clock_budget)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "version": SPEC_VERSION,
+            "seed": self.seed,
+            "link": self.link.to_json(),
+            "flows": [f.to_json() for f in self.flows],
+        }
+        for key in ("duration", "warmup", "sample_interval"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ConfigurationError(
+                f"unsupported scenario spec version {version!r} "
+                f"(this build reads version {SPEC_VERSION})")
+        return cls(
+            link=LinkSpec.from_json(data["link"]),
+            flows=tuple(FlowSpec.from_json(f) for f in data["flows"]),
+            seed=data.get("seed", 0),
+            duration=data.get("duration"),
+            warmup=data.get("warmup"),
+            sample_interval=data.get("sample_interval"),
+        )
+
+    def dumps(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "ScenarioSpec":
+        return cls.from_json(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioSpec":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return cls.loads(fh.read())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read scenario spec {path!r}: {exc}")
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def with_link_rate(self, rate: float) -> "ScenarioSpec":
+        """A copy with the bottleneck rate replaced (sweep templates)."""
+        return replace(self, link=replace(self.link, rate=rate))
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy with a different root seed (replication studies)."""
+        return replace(self, seed=seed)
+
+
+def single_flow_scenario(cca: CCASpec, rate: float, rm: float,
+                         mss: int = 1500, seed: int = 0,
+                         duration: Optional[float] = None,
+                         warmup: Optional[float] = None) -> ScenarioSpec:
+    """The sweep workhorse: one flow of ``cca`` on an ideal link."""
+    return ScenarioSpec(
+        link=LinkSpec(rate=rate),
+        flows=(FlowSpec(cca=cca, rm=rm, mss=mss),),
+        seed=seed, duration=duration, warmup=warmup)

@@ -1,6 +1,5 @@
 """Tests for the analysis package: metrics, sweeps, reporting."""
 
-import math
 
 import pytest
 

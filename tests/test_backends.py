@@ -1,0 +1,224 @@
+"""Tests for pluggable execution backends (repro.analysis.backends).
+
+The contract under test: a ProcessPoolBackend sweep returns exactly what
+a SerialBackend sweep returns — same results, same failure records, same
+checkpoints — just on more cores.
+"""
+
+import pytest
+
+from repro import units
+from repro.analysis.backends import (PointOutcome, ProcessPoolBackend,
+                                     SerialBackend, execute_point,
+                                     make_backend)
+from repro.analysis.harness import ResilientSweep, RunBudget
+from repro.analysis.sweep import sweep_rate_delay
+from repro.errors import ConfigurationError, SimulationError
+from repro.spec import CCASpec, single_flow_scenario
+
+RM = units.ms(40)
+
+
+# Module-level run points: picklable by qualified name, so the spawn
+# pool can import them in worker processes.
+
+def square_point(params, budget):
+    return {"value": params["x"] ** 2}
+
+
+def flaky_point(params, budget):
+    if params.get("fail"):
+        raise SimulationError(f"boom at {params['x']}")
+    return {"value": params["x"]}
+
+
+def spec_point(params, budget):
+    from repro.spec import ScenarioSpec
+    spec = ScenarioSpec.from_json(params["scenario"])
+    result = spec.run(duration=params["duration"], warmup=0.5)
+    return {"throughput": result.stats[0].throughput}
+
+
+def run_grid(backend, run_point, points, budget=None):
+    outcomes = list(backend.execute(run_point, points,
+                                    budget or RunBudget()))
+    return {o.key: o for o in outcomes}
+
+
+class TestExecutePoint:
+    def test_success(self):
+        outcome = execute_point(square_point, "k", {"x": 3}, RunBudget())
+        assert outcome.ok
+        assert outcome.result == {"value": 9}
+
+    def test_recoverable_failure_becomes_runfailure(self):
+        outcome = execute_point(flaky_point, "k", {"x": 1, "fail": True},
+                                RunBudget(retries=2))
+        assert not outcome.ok
+        assert outcome.failure.reason == "SimulationError"
+        assert outcome.failure.attempts == 3  # initial + 2 retries
+        assert "boom" in outcome.failure.message
+
+    def test_programming_errors_propagate(self):
+        def bad(params, budget):
+            raise TypeError("not recoverable")
+
+        with pytest.raises(TypeError):
+            execute_point(bad, "k", {}, RunBudget())
+
+
+class TestMakeBackend:
+    def test_mapping(self):
+        assert isinstance(make_backend(None), SerialBackend)
+        assert isinstance(make_backend(1), SerialBackend)
+        pool = make_backend(4)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.jobs == 4
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(jobs=0)
+
+
+class TestSerialBackend:
+    def test_yields_in_grid_order(self):
+        points = [(f"p{i}", {"x": i}) for i in range(4)]
+        outcomes = list(SerialBackend().execute(square_point, points,
+                                                RunBudget()))
+        assert [o.key for o in outcomes] == ["p0", "p1", "p2", "p3"]
+
+    def test_on_start_callback(self):
+        started = []
+        list(SerialBackend().execute(
+            square_point, [("a", {"x": 1})], RunBudget(),
+            on_start=started.append))
+        assert started == ["a"]
+
+
+class TestProcessPoolBackend:
+    def test_matches_serial(self):
+        points = [(f"p{i}", {"x": i, "fail": i == 2})
+                  for i in range(4)]
+        budget = RunBudget(retries=0)
+        serial = run_grid(SerialBackend(), flaky_point, points, budget)
+        pooled = run_grid(ProcessPoolBackend(jobs=2), flaky_point,
+                          points, budget)
+        assert set(serial) == set(pooled)
+        for key in serial:
+            assert serial[key].result == pooled[key].result
+            if serial[key].failure is None:
+                assert pooled[key].failure is None
+            else:
+                assert pooled[key].failure.reason == \
+                    serial[key].failure.reason
+                assert pooled[key].failure.message == \
+                    serial[key].failure.message
+
+    def test_rejects_closures_with_clear_error(self):
+        with pytest.raises(ConfigurationError, match="module-level"):
+            list(ProcessPoolBackend(jobs=2).execute(
+                lambda params, budget: None, [("a", {})], RunBudget()))
+
+    def test_empty_grid(self):
+        assert list(ProcessPoolBackend(jobs=2).execute(
+            square_point, [], RunBudget())) == []
+
+    def test_runs_scenario_specs(self):
+        spec = single_flow_scenario(CCASpec("vegas"),
+                                    rate=units.mbps(5), rm=RM, seed=3)
+        points = [("only", {"scenario": spec.to_json(),
+                            "duration": 2.0})]
+        serial = run_grid(SerialBackend(), spec_point, points)
+        pooled = run_grid(ProcessPoolBackend(jobs=2), spec_point, points)
+        assert serial["only"].result == pooled["only"].result
+
+
+class TestResilientSweepWithBackends:
+    POINTS = [(f"p{i}", {"x": i, "fail": i == 1}) for i in range(3)]
+
+    def outcome_with(self, backend, checkpoint=None):
+        sweep = ResilientSweep(flaky_point, budget=RunBudget(retries=0),
+                               checkpoint_path=checkpoint,
+                               backend=backend)
+        return sweep.run(self.POINTS)
+
+    def test_parallel_outcome_matches_serial(self):
+        serial = self.outcome_with(SerialBackend())
+        pooled = self.outcome_with(ProcessPoolBackend(jobs=2))
+        assert serial.completed == pooled.completed
+        assert [f.key for f in serial.failures] == \
+            [f.key for f in pooled.failures]
+
+    def test_parallel_checkpoint_resumes_serially_and_back(self,
+                                                           tmp_path):
+        checkpoint = str(tmp_path / "ck.json")
+        first = self.outcome_with(ProcessPoolBackend(jobs=2), checkpoint)
+        assert set(first.completed) == {"p0", "p2"}
+        # Resuming — on any backend — skips everything already recorded.
+        resumed = self.outcome_with(SerialBackend(), checkpoint)
+        assert resumed.resumed == 3
+        assert resumed.completed == first.completed
+
+    def test_progress_callback_fires_with_pool(self):
+        events = []
+        sweep = ResilientSweep(flaky_point, budget=RunBudget(retries=0),
+                               progress=lambda k, s: events.append((k, s)),
+                               backend=ProcessPoolBackend(jobs=2))
+        sweep.run(self.POINTS)
+        assert ("p0", "run") in events
+        assert ("p0", "ok") in events
+        assert any(k == "p1" and s.startswith("failed")
+                   for k, s in events)
+
+
+class TestSweepRateDelayBackends:
+    GRID = [2.0, 10.0]
+    BUDGET = RunBudget(max_events=5_000_000, wall_clock=60.0)
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = sweep_rate_delay("vegas", self.GRID, RM, duration=3.0,
+                                  budget=self.BUDGET, seed=5)
+        pooled = sweep_rate_delay("vegas", self.GRID, RM, duration=3.0,
+                                  budget=self.BUDGET, seed=5, jobs=2)
+        assert serial.to_json() == pooled.to_json()
+
+    def test_cca_spec_input(self):
+        curve = sweep_rate_delay(CCASpec("vegas"), [2.0], RM,
+                                 duration=2.0, budget=self.BUDGET)
+        assert curve.label == "vegas"
+        assert len(curve.points) == 1
+
+    def test_callable_still_works_serially(self):
+        from repro.ccas import Vegas
+        curve = sweep_rate_delay(Vegas, [2.0], RM, duration=2.0,
+                                 budget=self.BUDGET)
+        assert len(curve.points) == 1
+
+    def test_callable_with_parallel_backend_rejected(self):
+        from repro.ccas import Vegas
+        with pytest.raises(ConfigurationError, match="declarative"):
+            sweep_rate_delay(Vegas, self.GRID, RM, duration=2.0,
+                             budget=self.BUDGET, jobs=2)
+
+    def test_backend_and_jobs_are_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            sweep_rate_delay("vegas", self.GRID, RM,
+                             backend=SerialBackend(), jobs=2)
+
+    def test_template_sweep(self):
+        template = single_flow_scenario(CCASpec("copa"),
+                                        rate=units.mbps(1), rm=RM)
+        curve = sweep_rate_delay("vegas", [2.0], RM, duration=2.0,
+                                 budget=self.BUDGET, template=template)
+        # The template's CCA (copa), not cca_factory, defines the flow.
+        assert curve.label == "scenario"
+        assert len(curve.points) == 1
+
+
+class TestPointOutcome:
+    def test_ok_property(self):
+        assert PointOutcome(key="k", params={}, result=1).ok
+        from repro.analysis.harness import RunFailure
+        failure = RunFailure(key="k", reason="X", message="m",
+                             attempts=1, elapsed=0.0)
+        assert not PointOutcome(key="k", params={}, failure=failure).ok

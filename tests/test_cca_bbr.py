@@ -1,6 +1,5 @@
 """Tests for BBR: filters, mode machine, equilibria (Section 5.2)."""
 
-import math
 
 import pytest
 

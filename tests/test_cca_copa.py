@@ -1,13 +1,12 @@
 """Tests for Copa, including the Section 5.1 min-RTT poisoning attack."""
 
-import math
 
 import pytest
 
 from repro import units
 from repro.ccas.copa import Copa
 from repro.sim import FlowConfig, LinkConfig, run_scenario_full
-from repro.sim.jitter import ConstantJitter, ExemptFirstJitter
+from repro.sim.jitter import ExemptFirstJitter
 
 RATE = units.mbps(12)
 RM = units.ms(40)

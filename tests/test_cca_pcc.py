@@ -1,6 +1,5 @@
 """Tests for the PCC family: monitor intervals, Vivace, Allegro."""
 
-import math
 
 import pytest
 

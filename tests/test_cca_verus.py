@@ -1,6 +1,5 @@
 """Tests for the simplified Verus implementation."""
 
-import math
 
 import pytest
 

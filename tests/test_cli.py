@@ -1,45 +1,50 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import (CCA_FACTORIES, STARVE_SCENARIOS, build_parser,
-                       main, parse_flow_spec)
-from repro.sim.network import FlowConfig
+from repro.ccas import registry
+from repro.cli import (STARVE_SCENARIOS, build_parser, main,
+                       parse_flow_spec)
+from repro.spec import FlowSpec, ScenarioSpec
 
 
 class TestFlowSpecParsing:
     def test_plain_cca(self):
-        config = parse_flow_spec("vegas", rm=0.04)
-        assert isinstance(config, FlowConfig)
-        assert config.label == "vegas"
-        assert config.ack_elements == ()
+        spec = parse_flow_spec("vegas", rm=0.04)
+        assert isinstance(spec, FlowSpec)
+        assert spec.label == "vegas"
+        assert spec.ack_elements == ()
 
     def test_all_ccas_resolve(self):
-        for name in CCA_FACTORIES:
-            config = parse_flow_spec(name, rm=0.04)
-            cca = config.cca_factory()
+        for name in registry.names():
+            spec = parse_flow_spec(name, rm=0.04)
+            cca = spec.cca.create()
             assert hasattr(cca, "on_ack")
 
     def test_poison_modifier(self):
-        config = parse_flow_spec("copa:poison", rm=0.04)
-        assert len(config.ack_elements) == 1
+        spec = parse_flow_spec("copa:poison", rm=0.04)
+        assert len(spec.ack_elements) == 1
+        assert spec.ack_elements[0].kind == "exempt_first_jitter"
+        assert spec.ack_elements[0].params["eta"] == pytest.approx(0.001)
 
     def test_poison_with_amount(self):
-        config = parse_flow_spec("copa:poison5", rm=0.04)
-        assert len(config.ack_elements) == 1
+        spec = parse_flow_spec("copa:poison5", rm=0.04)
+        assert spec.ack_elements[0].params["eta"] == pytest.approx(0.005)
 
     def test_jitter_modifier(self):
-        config = parse_flow_spec("vegas:jitter10", rm=0.04)
-        assert len(config.ack_elements) == 1
+        spec = parse_flow_spec("vegas:jitter10", rm=0.04)
+        assert spec.ack_elements[0].kind == "constant_jitter"
 
     def test_agg_modifier(self):
-        config = parse_flow_spec("vivace:agg60", rm=0.04)
-        assert len(config.ack_elements) == 1
+        spec = parse_flow_spec("vivace:agg60", rm=0.04)
+        assert spec.ack_elements[0].kind == "ack_aggregation"
 
     def test_delack_modifier(self):
-        config = parse_flow_spec("reno:delack4", rm=0.04)
-        assert config.ack_every == 4
-        assert config.ack_timeout is not None
+        spec = parse_flow_spec("reno:delack4", rm=0.04)
+        assert spec.ack_every == 4
+        assert spec.ack_timeout is not None
 
     def test_unknown_cca_exits(self):
         with pytest.raises(SystemExit):
@@ -50,24 +55,40 @@ class TestFlowSpecParsing:
             parse_flow_spec("vegas:zap", rm=0.04)
 
     def test_ge_fault_modifier(self):
-        config = parse_flow_spec("bbr:ge0.02", rm=0.04)
-        assert config.fault_schedule is not None
-        assert len(config.fault_schedule.windows) == 1
+        spec = parse_flow_spec("bbr:ge0.02", rm=0.04)
+        assert spec.faults is not None
+        assert len(spec.faults.windows) == 1
+        assert spec.faults.windows[0].kind == "gilbert_elliott"
 
     def test_blackout_fault_modifier(self):
-        config = parse_flow_spec("bbr:blackout5-7", rm=0.04)
-        window = config.fault_schedule.windows[0]
+        spec = parse_flow_spec("bbr:blackout5-7", rm=0.04)
+        window = spec.faults.windows[0]
         assert (window.start, window.end) == (5.0, 7.0)
 
     def test_flap_reorder_dup_corrupt_modifiers(self):
-        config = parse_flow_spec(
+        spec = parse_flow_spec(
             "reno:flap2-0.5:reorder0.05:dup0.01:corrupt0.01", rm=0.04)
-        assert len(config.fault_schedule.windows) == 4
+        assert len(spec.faults.windows) == 4
 
     def test_modifiers_stack_with_ack_modifiers(self):
-        config = parse_flow_spec("vegas:jitter5:blackout1-2", rm=0.04)
-        assert len(config.ack_elements) == 1
-        assert config.fault_schedule is not None
+        spec = parse_flow_spec("vegas:jitter5:blackout1-2", rm=0.04)
+        assert len(spec.ack_elements) == 1
+        assert spec.faults is not None
+
+    def test_fault_seed_pins_schedule(self):
+        spec = parse_flow_spec("bbr:ge0.02", rm=0.04, fault_seed=9)
+        assert spec.faults.seed == 9
+        # Without an explicit fault seed, the schedule derives from the
+        # scenario root seed at build time.
+        spec = parse_flow_spec("bbr:ge0.02", rm=0.04)
+        assert spec.faults.seed is None
+
+    def test_parsed_spec_round_trips(self):
+        spec = parse_flow_spec(
+            "copa:poison:jitter2:ge0.02:blackout5-7", rm=0.04)
+        rt = FlowSpec.from_json(
+            json.loads(json.dumps(spec.to_json())))
+        assert rt == spec
 
     def test_bad_blackout_window_exits(self):
         with pytest.raises(SystemExit):
@@ -78,7 +99,7 @@ class TestFlowSpecParsing:
         # offending modifier named, not a traceback.
         for spec in ("vegas:ge", "vegas:blackout7-5", "vegas:dup1.5",
                      "vegas:ge1.5", "vegas:flap2-3", "vegas:reorder-1"):
-            with pytest.raises(SystemExit, match="modifier"):
+            with pytest.raises(SystemExit, match="modifier|spec"):
                 parse_flow_spec(spec, rm=0.04)
 
 
@@ -115,12 +136,62 @@ class TestCommands:
                      "--link-flap", "2-0.25"])
         assert code == 0
 
+    def test_run_needs_flags_or_spec(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--rate", "12", "--rm", "40"])
+
+    def test_run_rejects_spec_and_cca_together(self, tmp_path):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["run", "--spec", str(tmp_path / "s.json"),
+                  "--cca", "vegas"])
+
+    def test_dump_spec_then_run_spec_reproduces(self, tmp_path, capsys):
+        flags = ["run", "--rate", "12", "--rm", "40",
+                 "--cca", "vegas", "--cca", "copa:poison",
+                 "--duration", "4"]
+        assert main(flags + ["--dump-spec"]) == 0
+        dumped = capsys.readouterr().out
+        spec_path = tmp_path / "scenario.json"
+        spec_path.write_text(dumped)
+        # The dump is a valid, lossless ScenarioSpec.
+        spec = ScenarioSpec.load(str(spec_path))
+        assert spec == ScenarioSpec.loads(spec.dumps())
+
+        assert main(flags) == 0
+        from_flags = capsys.readouterr().out.splitlines()[1:]
+        assert main(["run", "--spec", str(spec_path),
+                     "--duration", "4"]) == 0
+        from_spec = capsys.readouterr().out.splitlines()[1:]
+        # Identical reports apart from the title line.
+        assert from_spec == from_flags
+
+    def test_run_spec_uses_embedded_duration(self, tmp_path, capsys):
+        spec_path = tmp_path / "scenario.json"
+        main(["run", "--rate", "12", "--rm", "40", "--cca", "vegas",
+              "--dump-spec"])
+        spec = ScenarioSpec.loads(capsys.readouterr().out)
+        import dataclasses
+        spec = dataclasses.replace(spec, duration=4.0, warmup=1.0)
+        spec.save(str(spec_path))
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        assert "4 s" in capsys.readouterr().out
+
     def test_sweep_command(self, capsys):
         code = main(["sweep", "--cca", "vegas", "--rates", "2,10",
                      "--rm", "40", "--duration", "5"])
         assert code == 0
         out = capsys.readouterr().out
         assert "delta_max" in out
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        out_path = tmp_path / "curve.json"
+        code = main(["sweep", "--cca", "vegas", "--rates", "2,10",
+                     "--rm", "40", "--duration", "5",
+                     "--json", str(out_path)])
+        assert code == 0
+        curve = json.loads(out_path.read_text())
+        assert len(curve["points"]) == 2
+        assert curve["failures"] == []
 
     def test_sweep_with_checkpoint_resumes(self, tmp_path, capsys):
         checkpoint = str(tmp_path / "ck.json")

@@ -1,6 +1,5 @@
 """Tests for Definition 1 measurement (repro.core.convergence)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -12,7 +11,7 @@ from repro.core.convergence import (certify_delay_convergence,
                                     measure_converged_range)
 from repro.errors import ConvergenceError
 from repro.model.cca import FluidAimd, WindowTargetCCA
-from repro.model.fluid import Trajectory, run_ideal_path
+from repro.model.fluid import Trajectory
 
 RM = 0.05
 C = units.mbps(12)

@@ -5,12 +5,10 @@ fluid model: build the adversary, run it, and check that starvation (or
 under-utilization) actually materializes.
 """
 
-import math
 
 import pytest
 
-from repro import units
-from repro.core.emulation import build_emulation_plan, verify_shared_delay
+from repro.core.emulation import verify_shared_delay
 from repro.core.pigeonhole import find_pigeonhole_pair
 from repro.core.convergence import measure_converged_range
 from repro.core.theorems import (construct_starvation,

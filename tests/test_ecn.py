@@ -1,6 +1,5 @@
 """Tests for the Section 6.4 extension: ECN marking + EcnAimd."""
 
-import pytest
 
 from repro import units
 from repro.ccas.ecn import EcnAimd

@@ -110,3 +110,34 @@ def test_schedule_at_now_is_allowed(sim):
     sim.schedule(1.0, lambda: sim.schedule_at(sim.now, fired.append, 1))
     sim.run_all()
     assert fired == [1]
+
+
+def test_run_all_wall_clock_budget(sim):
+    from repro.errors import BudgetExceededError
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(BudgetExceededError) as excinfo:
+        sim.run_all(wall_clock_budget=0.02)
+    assert excinfo.value.kind == "wall_clock"
+
+
+def test_run_all_event_budget_kind(sim):
+    from repro.errors import BudgetExceededError
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(BudgetExceededError) as excinfo:
+        sim.run_all(max_events=1000)
+    assert excinfo.value.kind == "events"
+
+
+def test_run_all_wall_clock_budget_unset_by_default(sim):
+    for i in range(5):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run_all()  # no budgets: drains the queue and returns
+    assert sim.events_processed == 5

@@ -1,6 +1,5 @@
 """Tests for the CCAC-substitute adversarial trace search."""
 
-import math
 
 import pytest
 

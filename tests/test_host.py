@@ -6,7 +6,6 @@ import pytest
 
 from repro import units
 from repro.ccas.base import CCA
-from repro.sim.engine import Simulator
 from repro.sim.host import Receiver, Sender
 from repro.sim.path import DelayElement
 from repro.sim.queue import BottleneckQueue

@@ -6,18 +6,15 @@ the Equation 5 feasibility algebra, fairness metrics, and rate-delay map
 inverses.
 """
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro import units
 from repro.core.emulation import build_emulation_plan
 from repro.core.fairness import jain_index, throughput_ratio
 from repro.core.ratedelay import ExponentialMap, VegasFamilyMap
-from repro.errors import EmulationInfeasibleError
 from repro.model.fluid import Trajectory
 from repro.sim.engine import Simulator
 from repro.sim.jitter import FunctionJitter

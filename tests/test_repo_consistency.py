@@ -8,7 +8,6 @@ the public packages must export what the docs promise.
 import os
 import re
 
-import pytest
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 

@@ -1,6 +1,5 @@
 """Tests for units, errors, recorder plumbing, and adversary schedules."""
 
-import math
 
 import numpy as np
 import pytest

@@ -5,7 +5,6 @@ import pytest
 from repro import units
 from repro.ccas import BBR, Cubic, Vegas
 from repro.errors import ConfigurationError
-from repro.sim import FlowConfig, LinkConfig
 from repro.sim.engine import Simulator
 from repro.sim.host import Receiver, Sender
 from repro.sim.packet import Packet
