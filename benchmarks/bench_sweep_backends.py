@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Benchmark: serial vs process-pool sweep on an 8-point rate grid.
+"""Benchmark: serial vs process-pool vs cached sweep on an 8-point grid.
 
-Runs the same Figure 3 style sweep twice — SerialBackend and
-ProcessPoolBackend(jobs=4) — asserts the curves are bit-identical, and
-writes the timings to BENCH_sweep.json at the repo root.
+Runs the same Figure 3 style sweep four ways — SerialBackend,
+ProcessPoolBackend(jobs=4), then cold and warm against a
+content-addressed result store — asserts all four curves are
+bit-identical, and writes the timings to BENCH_sweep.json at the repo
+root (``cache_cold_s`` / ``cache_warm_s`` next to the backend times).
 
 The speedup column is honest wall-clock on the current machine; on a
 single-core container the pool cannot beat serial (spawn overhead plus
 time-slicing), so the JSON records ``cpu_count`` next to the numbers —
-read the speedup relative to that.
+read the speedup relative to that. The warm-cache time has no such
+caveat: it executes zero simulations regardless of core count.
 
 Run:  PYTHONPATH=src python benchmarks/bench_sweep_backends.py
 """
 
 import json
 import os
+import shutil
+import tempfile
 import time
 
 from repro import units
@@ -35,10 +40,11 @@ OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(
 DURATION = 30.0
 
 
-def timed_sweep(jobs):
+def timed_sweep(jobs, cache_dir=None):
     start = time.monotonic()
     curve = sweep_rate_delay("copa", GRID, RM, duration=DURATION,
-                             budget=BUDGET, seed=11, jobs=jobs)
+                             budget=BUDGET, seed=11, jobs=jobs,
+                             cache_dir=cache_dir)
     elapsed = time.monotonic() - start
     assert not curve.failures, curve.failures
     assert len(curve.points) == len(GRID)
@@ -49,8 +55,22 @@ def main():
     serial_time, serial_curve = timed_sweep(jobs=None)
     pool_time, pool_curve = timed_sweep(jobs=JOBS)
 
-    identical = serial_curve.to_json() == pool_curve.to_json()
-    assert identical, "parallel sweep diverged from serial reference"
+    cache_dir = tempfile.mkdtemp(prefix="bench-cache-")
+    try:
+        cold_time, cold_curve = timed_sweep(jobs=JOBS,
+                                            cache_dir=cache_dir)
+        assert cold_curve.cache["misses"] == len(GRID)
+        warm_time, warm_curve = timed_sweep(jobs=None,
+                                            cache_dir=cache_dir)
+        # The acceptance bar: a warm rerun executes zero simulations.
+        assert warm_curve.cache == {"hits": len(GRID), "misses": 0,
+                                    "resumed": 0}, warm_curve.cache
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    identical = (serial_curve.to_json() == pool_curve.to_json()
+                 == cold_curve.to_json() == warm_curve.to_json())
+    assert identical, "sweep variants diverged from serial reference"
 
     payload = {
         "benchmark": f"8-point copa rate-delay sweep, {DURATION:.0f} s per point",
@@ -60,10 +80,16 @@ def main():
         "serial_seconds": round(serial_time, 3),
         "parallel_seconds": round(pool_time, 3),
         "speedup": round(serial_time / pool_time, 3),
+        "cache_cold_s": round(cold_time, 3),
+        "cache_warm_s": round(warm_time, 3),
+        "cache_speedup": round(serial_time / warm_time, 3),
         "bit_identical": identical,
         "note": ("speedup is wall-clock on this machine; with fewer "
                  "cores than jobs the pool pays spawn overhead for no "
-                 "parallelism — compare against cpu_count"),
+                 "parallelism — compare against cpu_count. cache_cold_s "
+                 "is the pool sweep plus store writes; cache_warm_s "
+                 "replays the grid from the store with zero "
+                 "simulations"),
     }
     with open(OUT_PATH, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)

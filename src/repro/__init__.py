@@ -29,9 +29,13 @@ from . import units
 from .errors import (ConfigurationError, ConvergenceError,
                      EmulationInfeasibleError, ReproError, SimulationError)
 
-__version__ = "1.0.0"
+#: Single source of truth for the package version: pyproject.toml reads
+#: it via ``[tool.setuptools.dynamic]``, and the result store bakes it
+#: into every cache key's code fingerprint (repro.store.keys), so
+#: bumping it invalidates all cached experiment results at once.
+__version__ = "1.1.0"
 
 __all__ = [
     "ConfigurationError", "ConvergenceError", "EmulationInfeasibleError",
-    "ReproError", "SimulationError", "units",
+    "ReproError", "SimulationError", "__version__", "units",
 ]

@@ -19,6 +19,13 @@ owns the retry/back-off and failure-wrapping semantics, so a divergent
 point degrades to a :class:`RunFailure` identically on every backend.
 Non-recoverable exceptions (programming errors) propagate from workers
 to the caller.
+
+``execute_point`` is also the single cache crossing: given a
+:class:`~repro.store.ResultStore` it looks the point's content address
+up *before* simulating and stores the result *after* — and only
+successful results are ever stored, so a retried-then-failed point
+cannot poison the store. Because the lookup/put happens inside the
+worker body, pool workers share the cache exactly like serial runs do.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from typing import (Any, Callable, Dict, Iterable, Iterator, Optional,
                     Sequence, Tuple)
 
 from ..errors import ConfigurationError
+from ..store import ResultStore, point_cache_key, summarize_params, task_name
 from .harness import (RECOVERABLE, RunBudget, RunFailure, _first_line,
                       run_with_retry)
 
@@ -51,6 +59,10 @@ class PointOutcome:
     params: Dict[str, Any]
     result: Any = None
     failure: Optional[RunFailure] = None
+    #: True when the result was served from a ResultStore without
+    #: simulating; the content address is in ``cache_key`` either way.
+    cached: bool = False
+    cache_key: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -58,13 +70,39 @@ class PointOutcome:
 
 
 def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
-                  budget: RunBudget) -> PointOutcome:
+                  budget: RunBudget,
+                  store: Optional[ResultStore] = None,
+                  refresh: bool = False,
+                  backend_name: str = "serial") -> PointOutcome:
     """Run one grid point with retries; wrap recoverable failures.
 
     This is the single execution path shared by every backend (it is a
     module-level function precisely so process pools can pickle it).
+
+    With a ``store``, the point's content address is looked up first —
+    a hit skips the simulation entirely and is bit-identical to a live
+    run by the cache-key contract (:mod:`repro.store.keys`). On a miss
+    the point runs; only a *successful* result is put back, so
+    failures never poison the store (they are recorded as ``fail``
+    catalog events instead). ``refresh`` forces recomputation and
+    overwrites the entry (``--force``).
     """
     start = time.monotonic()
+    ckey: Optional[str] = None
+    if store is not None:
+        ckey = point_cache_key(run_point, params,
+                               fingerprint=store.fingerprint)
+        if not refresh:
+            found, cached = store.fetch(ckey)
+            if found:
+                store.catalog.record(
+                    ckey, "hit", task=task_name(run_point),
+                    backend=backend_name,
+                    wall_s=time.monotonic() - start,
+                    summary=summarize_params(params))
+                return PointOutcome(key=key, params=params,
+                                    result=cached, cached=True,
+                                    cache_key=ckey)
     attempts = 0
 
     def attempt(budget: RunBudget) -> Any:
@@ -79,8 +117,23 @@ def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
             key=key, reason=type(exc).__name__,
             message=_first_line(exc), attempts=attempts,
             elapsed=time.monotonic() - start, params=params)
-        return PointOutcome(key=key, params=params, failure=failure)
-    return PointOutcome(key=key, params=params, result=result)
+        if store is not None and ckey is not None:
+            store.catalog.record(ckey, "fail",
+                                 task=task_name(run_point),
+                                 backend=backend_name,
+                                 wall_s=time.monotonic() - start,
+                                 summary=summarize_params(params))
+        return PointOutcome(key=key, params=params, failure=failure,
+                            cache_key=ckey)
+    if store is not None and ckey is not None:
+        store.put(ckey, result, meta={"point": key},
+                  task=task_name(run_point))
+        store.catalog.record(ckey, "miss", task=task_name(run_point),
+                             backend=backend_name,
+                             wall_s=time.monotonic() - start,
+                             summary=summarize_params(params))
+    return PointOutcome(key=key, params=params, result=result,
+                        cache_key=ckey)
 
 
 class SerialBackend:
@@ -90,12 +143,15 @@ class SerialBackend:
 
     def execute(self, run_point: RunPoint, points: Sequence[Point],
                 budget: RunBudget,
-                on_start: Optional[Callable[[str], None]] = None
-                ) -> Iterator[PointOutcome]:
+                on_start: Optional[Callable[[str], None]] = None,
+                store: Optional[ResultStore] = None,
+                refresh: bool = False) -> Iterator[PointOutcome]:
         for key, params in points:
             if on_start is not None:
                 on_start(key)
-            yield execute_point(run_point, key, params, budget)
+            yield execute_point(run_point, key, params, budget,
+                                store=store, refresh=refresh,
+                                backend_name="serial")
 
     def __repr__(self) -> str:
         return "SerialBackend()"
@@ -128,8 +184,9 @@ class ProcessPoolBackend:
 
     def execute(self, run_point: RunPoint, points: Sequence[Point],
                 budget: RunBudget,
-                on_start: Optional[Callable[[str], None]] = None
-                ) -> Iterator[PointOutcome]:
+                on_start: Optional[Callable[[str], None]] = None,
+                store: Optional[ResultStore] = None,
+                refresh: bool = False) -> Iterator[PointOutcome]:
         points = list(points)
         if not points:
             return
@@ -142,8 +199,12 @@ class ProcessPoolBackend:
             for key, params in points:
                 if on_start is not None:
                     on_start(key)
-                futures.append(pool.submit(execute_point, run_point,
-                                           key, params, budget))
+                # The store travels to the worker (it is plain paths +
+                # a fingerprint), so lookups and puts happen where the
+                # simulation would run — all processes share one cache.
+                futures.append(pool.submit(
+                    execute_point, run_point, key, params, budget,
+                    store, refresh, "process-pool"))
             for future in as_completed(futures):
                 yield future.result()
 

@@ -139,12 +139,16 @@ class SweepOutcome:
     ``completed`` maps point keys to run results (in grid order);
     ``failures`` holds one :class:`RunFailure` per divergent point;
     ``resumed`` counts points skipped because a checkpoint already had
-    them.
+    them. With a result store attached, ``hits``/``misses`` count the
+    points served from cache versus actually simulated — a fully warm
+    sweep shows ``misses == 0``.
     """
 
     completed: Dict[str, Any]
     failures: List[RunFailure]
     resumed: int = 0
+    hits: int = 0
+    misses: int = 0
 
     @property
     def failed_keys(self) -> List[str]:
@@ -178,6 +182,17 @@ class ResilientSweep:
             :class:`~repro.analysis.backends.ProcessPoolBackend`
             deciding where points execute. Checkpoint/failure semantics
             are backend-independent.
+        store: a :class:`~repro.store.ResultStore` for content-addressed
+            result caching. Every point is looked up before it is
+            simulated and stored after (successes only), so re-running
+            a sweep with a warm store executes zero simulations. With a
+            store, the checkpoint stops persisting results of its own:
+            it records each completed point's *cache key* and becomes a
+            view over the store (results from a pre-store checkpoint
+            are migrated in on first resume). A checkpoint entry whose
+            store object was garbage-collected simply re-runs.
+        refresh: recompute every point even when cached, overwriting
+            store entries (the CLI's ``--force``).
 
     Example::
 
@@ -188,7 +203,11 @@ class ResilientSweep:
         outcome.failures    # [RunFailure(...)] for divergent points
     """
 
+    #: Version 1 checkpoints inline every result; version 2 (written
+    #: when a result store is attached) records cache keys instead and
+    #: resolves them through the store on load.
     CHECKPOINT_VERSION = 1
+    CHECKPOINT_STORE_VERSION = 2
 
     def __init__(self, run_point: Callable[[Dict[str, Any], RunBudget],
                                            Any],
@@ -196,7 +215,9 @@ class ResilientSweep:
                  checkpoint_path: Optional[str] = None,
                  retry_failures_on_resume: bool = False,
                  progress: Optional[Callable[[str, str], None]] = None,
-                 backend: Optional[object] = None) -> None:
+                 backend: Optional[object] = None,
+                 store: Optional[object] = None,
+                 refresh: bool = False) -> None:
         self.run_point = run_point
         self.budget = budget or RunBudget()
         self.checkpoint_path = checkpoint_path
@@ -208,6 +229,8 @@ class ResilientSweep:
             from .backends import SerialBackend
             backend = SerialBackend()
         self.backend = backend
+        self.store = store
+        self.refresh = refresh
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -215,29 +238,72 @@ class ResilientSweep:
 
     def load_checkpoint(self) -> Tuple[Dict[str, Any], List[RunFailure]]:
         """Read prior progress; tolerates a missing or corrupt file."""
+        completed, _refs, failures = self._load_state()
+        return completed, failures
+
+    def _load_state(self) -> Tuple[Dict[str, Any], Dict[str, str],
+                                   List[RunFailure]]:
+        """Prior progress as ``(results, cache-key refs, failures)``.
+
+        Version 1 files carry results inline (refs stay empty).
+        Version 2 files carry cache keys; each is resolved through the
+        attached store, and an unresolvable key (entry gc'd, store
+        moved, no store attached) silently drops the point so it simply
+        re-runs — the checkpoint is a view, the store is the truth.
+        """
         if self.checkpoint_path is None:
-            return {}, []
+            return {}, {}, []
         try:
             with open(self.checkpoint_path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
         except (OSError, json.JSONDecodeError):
-            return {}, []
-        if data.get("version") != self.CHECKPOINT_VERSION:
-            return {}, []
-        completed = dict(data.get("completed", {}))
+            return {}, {}, []
+        version = data.get("version")
+        completed: Dict[str, Any] = {}
+        refs: Dict[str, str] = {}
+        if version == self.CHECKPOINT_VERSION:
+            completed = dict(data.get("completed", {}))
+        elif version == self.CHECKPOINT_STORE_VERSION:
+            completed = dict(data.get("inline", {}))
+            if self.store is not None:
+                for key, cache_key in data.get("completed", {}).items():
+                    found, result = self.store.fetch(cache_key)
+                    if found:
+                        completed[key] = result
+                        refs[key] = cache_key
+        else:
+            return {}, {}, []
         failures = [RunFailure.from_json(f)
                     for f in data.get("failures", [])]
-        return completed, failures
+        return completed, refs, failures
 
     def _write_checkpoint(self, completed: Dict[str, Any],
-                          failures: List[RunFailure]) -> None:
+                          failures: List[RunFailure],
+                          refs: Optional[Dict[str, str]] = None) -> None:
         if self.checkpoint_path is None:
             return
-        payload = {
-            "version": self.CHECKPOINT_VERSION,
-            "completed": completed,
-            "failures": [f.to_json() for f in failures],
-        }
+        if self.store is not None:
+            refs = refs or {}
+            payload = {
+                "version": self.CHECKPOINT_STORE_VERSION,
+                "store": getattr(self.store, "root", ""),
+                # The store holds the results; the checkpoint only
+                # remembers which cache keys belong to this grid.
+                "completed": {key: refs[key] for key in completed
+                              if key in refs},
+                # Results that never obtained a cache key (carried over
+                # from a pre-store checkpoint for points outside the
+                # current grid) are kept inline so nothing is lost.
+                "inline": {key: value for key, value in completed.items()
+                           if key not in refs},
+                "failures": [f.to_json() for f in failures],
+            }
+        else:
+            payload = {
+                "version": self.CHECKPOINT_VERSION,
+                "completed": completed,
+                "failures": [f.to_json() for f in failures],
+            }
         # Atomic replace so a kill mid-write can't corrupt progress.
         directory = os.path.dirname(os.path.abspath(self.checkpoint_path))
         fd, tmp_path = tempfile.mkstemp(dir=directory,
@@ -271,16 +337,20 @@ class ResilientSweep:
         keys = [key for key, _ in points]
         if len(set(keys)) != len(keys):
             raise ValueError("grid point keys must be unique")
-        completed, failures = self.load_checkpoint()
+        completed, refs, failures = self._load_state()
         if self.retry_failures_on_resume:
             failures = []
+        if self.store is not None:
+            self._migrate_inline_results(completed, refs, dict(points))
         failed_keys = {f.key for f in failures}
         pending = [(key, params) for key, params in points
                    if key not in completed and key not in failed_keys]
         resumed = len(points) - len(pending)
+        hits = misses = 0
         for outcome in self.backend.execute(
                 self.run_point, pending, self.budget,
-                on_start=lambda key: self._note(key, "run")):
+                on_start=lambda key: self._note(key, "run"),
+                store=self.store, refresh=self.refresh):
             if outcome.failure is not None:
                 failures.append(outcome.failure)
                 failed_keys.add(outcome.key)
@@ -288,10 +358,39 @@ class ResilientSweep:
                            f"failed: {outcome.failure.reason}")
             else:
                 completed[outcome.key] = outcome.result
-                self._note(outcome.key, "ok")
-            self._write_checkpoint(completed, failures)
+                if outcome.cache_key is not None:
+                    refs[outcome.key] = outcome.cache_key
+                if outcome.cached:
+                    hits += 1
+                    self._note(outcome.key, "cached")
+                else:
+                    misses += 1
+                    self._note(outcome.key, "ok")
+            self._write_checkpoint(completed, failures, refs)
         return SweepOutcome(completed=completed, failures=failures,
-                            resumed=resumed)
+                            resumed=resumed, hits=hits, misses=misses)
+
+    def _migrate_inline_results(self, completed: Dict[str, Any],
+                                refs: Dict[str, str],
+                                params_by_key: Dict[str, Any]) -> None:
+        """Unify pre-store checkpoints with the store.
+
+        A version-1 checkpoint carries results inline. When a store is
+        attached, each inline result whose point is still on the grid
+        is put under its content address, so from here on the
+        checkpoint is purely a view over cached keys.
+        """
+        from ..store import point_cache_key, task_name
+        for key, result in completed.items():
+            if key in refs or key not in params_by_key:
+                continue
+            cache_key = point_cache_key(self.run_point,
+                                        params_by_key[key],
+                                        fingerprint=self.store.fingerprint)
+            if not self.store.contains(cache_key):
+                self.store.put(cache_key, result, meta={"point": key},
+                               task=task_name(self.run_point))
+            refs[key] = cache_key
 
     def _note(self, key: str, status: str) -> None:
         if self.progress is not None:

@@ -66,6 +66,11 @@ class RateDelayCurve:
     points: List[RateDelayPoint]
     #: Grid points that diverged and were skipped (see harness docs).
     failures: List[RunFailure] = field(default_factory=list)
+    #: Cache accounting (``{"hits", "misses", "resumed"}``) when the
+    #: sweep ran against a result store; None otherwise. Deliberately
+    #: excluded from :meth:`to_json` so cached and uncached runs emit
+    #: byte-identical curve documents.
+    cache: Optional[Dict[str, int]] = None
 
     def delta_max(self) -> float:
         return max(p.delta for p in self.points)
@@ -134,7 +139,10 @@ def sweep_rate_delay(cca_factory: CCALike,
                      backend: Optional[object] = None,
                      jobs: Optional[int] = None,
                      seed: int = 0,
-                     template: Optional[ScenarioSpec] = None
+                     template: Optional[ScenarioSpec] = None,
+                     store: Optional[object] = None,
+                     cache_dir: Optional[str] = None,
+                     refresh: bool = False
                      ) -> RateDelayCurve:
     """Measure the equilibrium RTT range across link rates.
 
@@ -169,11 +177,24 @@ def sweep_rate_delay(cca_factory: CCALike,
             the template with the bottleneck rate replaced (the curve
             reports flow 0). Overrides ``cca_factory``/``mss``/``rm``'s
             scenario-building role (``rm`` still labels the curve).
+        store: a :class:`~repro.store.ResultStore` — grid points are
+            looked up by content address before simulating and stored
+            after, so a warm rerun executes zero simulations while
+            producing a byte-identical curve (``curve.cache`` reports
+            the hit/miss split).
+        cache_dir: shorthand for ``store=ResultStore(cache_dir)``.
+        refresh: recompute every point and overwrite store entries
+            (the CLI's ``--force``).
     """
     if backend is None:
         backend = make_backend(jobs)
     elif jobs is not None:
         raise ConfigurationError("pass backend or jobs, not both")
+    if cache_dir is not None:
+        if store is not None:
+            raise ConfigurationError("pass store or cache_dir, not both")
+        from ..store import ResultStore
+        store = ResultStore(cache_dir)
 
     spec = None if template is not None else _as_cca_spec(cca_factory)
     grid = [(f"{rate_mbps:g}mbps", float(rate_mbps))
@@ -208,6 +229,12 @@ def sweep_rate_delay(cca_factory: CCALike,
                 "parallel sweeps need a declarative CCA (a registry "
                 "name or CCASpec), not a live factory callable — "
                 "closures cannot cross process boundaries")
+        if store is not None:
+            raise ConfigurationError(
+                "result caching needs a declarative CCA (a registry "
+                "name or CCASpec), not a live factory callable — a "
+                "closure's identity cannot be part of a stable cache "
+                "key")
 
         def run_point(params: Dict[str, object],
                       point_budget: RunBudget) -> Dict[str, float]:
@@ -232,12 +259,16 @@ def sweep_rate_delay(cca_factory: CCALike,
     sweep = ResilientSweep(run_point, budget=budget,
                            checkpoint_path=checkpoint_path,
                            retry_failures_on_resume=retry_failures,
-                           backend=backend)
+                           backend=backend, store=store, refresh=refresh)
     outcome = sweep.run(points)
     curve_points = [RateDelayPoint(**outcome.completed[key])
                     for key, _ in points if key in outcome.completed]
+    cache = None
+    if store is not None:
+        cache = {"hits": outcome.hits, "misses": outcome.misses,
+                 "resumed": outcome.resumed}
     return RateDelayCurve(label=label, rm=rm, points=curve_points,
-                          failures=list(outcome.failures))
+                          failures=list(outcome.failures), cache=cache)
 
 
 def log_rate_grid(lo_mbps: float = 0.1, hi_mbps: float = 100.0,

@@ -11,8 +11,10 @@ Installed as the ``repro`` console script::
     repro sweep --cca bbr --rates 0.4,2,10,50 --rm 50
     repro sweep --cca bbr --rates 0.4,2,10,50 --jobs 4 --json curve.json
     repro sweep --cca bbr --rates 0.4,2,10,50 --checkpoint sweep.json
+    repro sweep --cca bbr --rates 0.4,2,10,50 --cache-dir ~/.repro-cache
     repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
     repro theorem 1|2|3
+    repro cache stats|ls|gc|verify --cache-dir ~/.repro-cache
 
 Flow-spec strings and ``--link-*`` flags are sugar over the declarative
 :mod:`repro.spec` layer: every invocation first assembles a
@@ -21,14 +23,22 @@ replay it with ``--spec``), then hands it to an execution backend —
 ``--jobs N`` fans independent scenarios or sweep points out over N
 worker processes with bit-identical results.
 
+``run``/``sweep``/``starve`` accept ``--cache-dir DIR`` (default: the
+``REPRO_CACHE_DIR`` environment variable): results are stored by
+content address (:mod:`repro.store`) and a repeated invocation serves
+hits instead of simulating, with byte-identical output. ``--force``
+recomputes and overwrites entries, ``--no-cache`` ignores the cache
+entirely, and ``repro cache`` inspects and maintains a store.
+
 Every command prints an ASCII report; nothing is written to disk unless
-``--checkpoint``/``--json``/``--dump-spec`` redirection asks for it.
+``--checkpoint``/``--json``/``--dump-spec``/``--cache-dir`` asks for it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -42,6 +52,7 @@ from .analysis import starvation
 from .ccas import registry
 from .spec import (CCASpec, ElementSpec, FaultScheduleSpec,
                    FaultWindowSpec, FlowSpec, LinkSpec, ScenarioSpec)
+from .store import ResultStore
 
 STARVE_SCENARIOS = {
     "copa": lambda: starvation.copa_two_flow_poisoned(duration=30.0),
@@ -53,6 +64,34 @@ STARVE_SCENARIOS = {
     "fig7-cubic": lambda: starvation.loss_based_delayed_acks(
         "cubic", duration=200.0),
 }
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """The caching flags shared by run/sweep/starve."""
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        metavar="DIR",
+        help="content-addressed result store: look results up before "
+             "simulating, store them after (default: $REPRO_CACHE_DIR)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the cache entirely (even if REPRO_CACHE_DIR is set)")
+    parser.add_argument(
+        "--force", action="store_true",
+        help="recompute cached points and overwrite their store entries")
+
+
+def _cache_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The ResultStore the flags ask for, or None."""
+    if args.no_cache or not args.cache_dir:
+        return None
+    return ResultStore(args.cache_dir)
+
+
+def _print_cache_line(store: Optional[ResultStore], hits: int,
+                      misses: int) -> None:
+    if store is not None:
+        print(f"cache: {hits} hit(s), {misses} miss(es) [{store.root}]")
 
 
 def _parse_window(text: str, what: str) -> tuple:
@@ -264,16 +303,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     backend = make_backend(args.jobs)
     budget = RunBudget(max_events=args.max_events, wall_clock=None,
                        retries=0)
+    store = _cache_store(args)
     reports: Dict[str, str] = {}
     failures = []
-    for outcome in backend.execute(_run_spec_point, points, budget):
+    hits = misses = 0
+    for outcome in backend.execute(_run_spec_point, points, budget,
+                                   store=store, refresh=args.force):
         if outcome.failure is not None:
             failures.append(outcome.failure)
         else:
             reports[outcome.key] = outcome.result["report"]
+            if outcome.cached:
+                hits += 1
+            else:
+                misses += 1
     for key, _ in points:
         if key in reports:
             print(reports[key])
+    _print_cache_line(store, hits, misses)
     if failures:
         print(f"{len(failures)} scenario(s) failed:")
         print(describe_failures(failures))
@@ -293,6 +340,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             raise SystemExit(str(exc))
     grid = [float(x) for x in args.rates.split(",")]
+    store = _cache_store(args)
     curve = sweep_rate_delay(args.cca, grid,
                              units.ms(args.rm), label=args.cca,
                              duration=args.duration,
@@ -301,11 +349,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                              checkpoint_path=args.checkpoint,
                              retry_failures=args.retry_failures,
                              jobs=args.jobs, seed=args.seed,
-                             template=template)
+                             template=template, store=store,
+                             refresh=args.force)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(curve.to_json(), fh, indent=1, sort_keys=True)
             fh.write("\n")
+    if curve.cache is not None:
+        _print_cache_line(store, curve.cache["hits"],
+                          curve.cache["misses"])
     if not curve.points:
         print("every grid point failed:")
         print(describe_failures(curve.failures))
@@ -338,22 +390,84 @@ def cmd_starve(args: argparse.Namespace) -> int:
                 f"{', '.join(sorted(STARVE_SCENARIOS))}")
     backend = make_backend(args.jobs)
     budget = RunBudget(max_events=None, wall_clock=None, retries=0)
+    store = _cache_store(args)
     points = [(name, {"scenario": name}) for name in names]
     reports: Dict[str, str] = {}
     failures = []
-    for outcome in backend.execute(_run_starve_point, points, budget):
+    hits = misses = 0
+    for outcome in backend.execute(_run_starve_point, points, budget,
+                                   store=store, refresh=args.force):
         if outcome.failure is not None:
             failures.append(outcome.failure)
         else:
             reports[outcome.key] = outcome.result["report"]
+            if outcome.cached:
+                hits += 1
+            else:
+                misses += 1
     for name in names:
         if name in reports:
             print(reports[name])
+    _print_cache_line(store, hits, misses)
     if failures:
         print(f"{len(failures)} scenario(s) failed:")
         print(describe_failures(failures))
         return 1
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain a content-addressed result store."""
+    if not args.cache_dir:
+        raise SystemExit(
+            "cache wants --cache-dir DIR (or $REPRO_CACHE_DIR)")
+    store = ResultStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        events = stats.events
+        print(f"store      {stats.root}")
+        print(f"entries    {stats.entries}")
+        print(f"bytes      {stats.total_bytes}")
+        print(f"temp files {stats.temp_files}")
+        print(f"hits       {events.get('hit', 0)}")
+        print(f"misses     {events.get('miss', 0)}")
+        print(f"failures   {events.get('fail', 0)}")
+        print(f"hit rate   {stats.hit_rate:.1%}")
+        return 0
+    if args.action == "ls":
+        count = 0
+        for entry in store.entries():
+            point = entry["meta"].get("point", "")
+            task = entry["task"].rsplit(":", 1)[-1]
+            print(f"{entry['key'][:16]}  {entry['bytes']:7d}B  "
+                  f"{task:28.28s}  {point}")
+            count += 1
+        print(f"{count} entr{'y' if count == 1 else 'ies'}")
+        return 0
+    if args.action == "gc":
+        report = store.gc()
+        print(f"removed {report.removed_corrupt} corrupt entr"
+              f"{'y' if report.removed_corrupt == 1 else 'ies'}, "
+              f"{report.removed_temp} temp file(s), "
+              f"{report.bytes_freed} bytes freed; "
+              f"{report.kept} good entr"
+              f"{'y' if report.kept == 1 else 'ies'} kept")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"checked {report.checked} entr"
+              f"{'y' if report.checked == 1 else 'ies'}: "
+              f"{report.ok} ok, {len(report.corrupt)} corrupt, "
+              f"{len(report.temp)} orphaned temp file(s)")
+        for path in report.corrupt:
+            print(f"  corrupt: {path}")
+        for path in report.temp:
+            print(f"  temp:    {path}")
+        if not report.clean:
+            print("run `repro cache gc` to collect")
+            return 1
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
 
 
 def cmd_theorem(args: argparse.Namespace) -> int:
@@ -453,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--max-events", type=int, default=None,
         help="abort the run after this many engine events (watchdog)")
+    _add_cache_flags(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = sub.add_parser("sweep",
@@ -488,6 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-failures", action="store_true",
         help="re-run checkpointed failed points (e.g. after raising "
              "--max-events) instead of keeping their failure records")
+    _add_cache_flags(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     starve_parser = sub.add_parser(
@@ -497,7 +613,20 @@ def build_parser() -> argparse.ArgumentParser:
     starve_parser.add_argument(
         "--jobs", type=int, default=None,
         help="run multiple scenarios in N worker processes")
+    _add_cache_flags(starve_parser)
     starve_parser.set_defaults(func=cmd_starve)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect/maintain a content-addressed result store")
+    cache_parser.add_argument(
+        "action", choices=["stats", "ls", "gc", "verify"],
+        help="stats: totals and hit rate; ls: list entries; gc: remove "
+             "corrupt entries and temp files; verify: integrity check "
+             "(exit 1 if anything is flagged)")
+    cache_parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        metavar="DIR", help="store root (default: $REPRO_CACHE_DIR)")
+    cache_parser.set_defaults(func=cmd_cache)
 
     theorem_parser = sub.add_parser(
         "theorem", help="run a theorem construction on the fluid model")

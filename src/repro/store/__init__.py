@@ -1,0 +1,46 @@
+"""Content-addressed experiment store: cache, catalog, incremental sweeps.
+
+PR 2 made every experiment a pure-data :class:`~repro.spec.ScenarioSpec`
+that reproduces bit-for-bit from one root seed. That determinism is
+worth money: a result is fully determined by *(spec params, code
+version)*, so recomputing it is waste. This package turns the spec
+layer into an incremental-computation system:
+
+* :mod:`repro.store.keys` — canonical JSON serialization of params plus
+  a code fingerprint (``repro.__version__`` + schema versions), hashed
+  to a stable SHA-256 cache key.
+* :mod:`repro.store.store` — :class:`ResultStore`, an on-disk,
+  content-addressed object store (sharded ``objects/ab/<key>.json``
+  layout, atomic tempfile-rename writes, corruption-tolerant reads,
+  ``gc``/``verify``/``stats`` maintenance).
+* :mod:`repro.store.catalog` — :class:`Catalog`, an append-only JSONL
+  manifest of every lookup (hit/miss/fail), queryable by CCA, link
+  rate, and jitter elements.
+* :mod:`repro.store.locks` — advisory file locking so concurrent
+  :class:`~repro.analysis.backends.ProcessPoolBackend` workers never
+  torn-write shared files.
+
+The cache contract: a cached run and an uncached run are bit-identical
+(asserted in ``tests/test_cache_sweep.py``), and only successful
+results are ever stored — a retried-then-failed point can never poison
+the store.
+
+    >>> from repro.store import ResultStore
+    >>> store = ResultStore("/tmp/repro-cache")     # doctest: +SKIP
+    >>> curve = sweep_rate_delay("bbr", grid, rm, store=store)  # doctest: +SKIP
+
+From the CLI: ``repro sweep --cache-dir DIR`` and ``repro cache
+stats|ls|gc|verify --cache-dir DIR``.
+"""
+
+from .catalog import Catalog, summarize_params
+from .keys import (STORE_SCHEMA_VERSION, cache_key, canonical_json,
+                   code_fingerprint, point_cache_key, task_name)
+from .store import GcReport, ResultStore, StoreStats, VerifyReport
+
+__all__ = [
+    "Catalog", "GcReport", "ResultStore", "STORE_SCHEMA_VERSION",
+    "StoreStats", "VerifyReport", "cache_key", "canonical_json",
+    "code_fingerprint", "point_cache_key", "summarize_params",
+    "task_name",
+]

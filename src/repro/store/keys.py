@@ -1,0 +1,94 @@
+"""Stable cache keys: canonical JSON + code fingerprint -> SHA-256.
+
+A cache key must satisfy two properties:
+
+* **Stable:** the same logical experiment yields the same key in any
+  process, on any platform, regardless of dict insertion order —
+  otherwise warm caches silently miss.
+* **Conservative:** anything that could change the *result* must be
+  part of the key. That is the experiment params (a serialized
+  :class:`~repro.spec.ScenarioSpec` plus run window), the worker
+  function that interprets them (:func:`task_name`), and the code
+  version (:func:`code_fingerprint`). Bumping ``repro.__version__``,
+  the spec schema, or the store schema invalidates every old entry by
+  construction — a stale hit is a silent wrong answer, a stale miss is
+  just one recomputation.
+
+Watchdog budgets (:class:`~repro.analysis.harness.RunBudget`) are
+deliberately *excluded*: they bound execution, they do not change what
+a successful run computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Mapping, Optional
+
+from ..errors import ConfigurationError
+
+#: Bump when the store entry layout or key derivation rule changes;
+#: part of every fingerprint, so old entries become misses, not lies.
+STORE_SCHEMA_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text: sorted keys, compact separators.
+
+    ``allow_nan`` stays on because fault-window specs legitimately
+    serialize ``Infinity`` horizons; Python's float repr is the
+    shortest round-trip form, so the text is stable across runs.
+    """
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cache key inputs must be JSON-serializable: {exc}")
+
+
+def code_fingerprint() -> str:
+    """The code-version component of every cache key."""
+    from .. import __version__
+    from ..spec import SPEC_VERSION
+    return (f"repro={__version__};spec={SPEC_VERSION};"
+            f"store={STORE_SCHEMA_VERSION}")
+
+
+def task_name(run_point: Callable[..., Any]) -> str:
+    """A stable name for the worker function that interprets params.
+
+    Two different workers given identical params (say, a rate-delay
+    point and a full-report run of the same scenario) must never share
+    a key, so the function's qualified name is hashed alongside them.
+    """
+    module = getattr(run_point, "__module__", "") or ""
+    qualname = (getattr(run_point, "__qualname__", "")
+                or getattr(run_point, "__name__", repr(run_point)))
+    return f"{module}:{qualname}"
+
+
+def cache_key(task: str, params: Mapping[str, Any],
+              fingerprint: Optional[str] = None) -> str:
+    """The SHA-256 content address of one experiment.
+
+    Args:
+        task: worker identity, usually :func:`task_name`'s output.
+        params: the JSON-able experiment description (for sweeps: the
+            serialized ScenarioSpec plus duration/warmup).
+        fingerprint: code fingerprint override; defaults to
+            :func:`code_fingerprint` (a store pins its own at
+            construction so a whole sweep uses one consistent value).
+    """
+    payload = canonical_json({
+        "fingerprint": fingerprint or code_fingerprint(),
+        "task": task,
+        "params": params,
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def point_cache_key(run_point: Callable[..., Any],
+                    params: Mapping[str, Any],
+                    fingerprint: Optional[str] = None) -> str:
+    """Key for one grid point: :func:`cache_key` over the worker + params."""
+    return cache_key(task_name(run_point), params, fingerprint=fingerprint)

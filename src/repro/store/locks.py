@@ -1,0 +1,45 @@
+"""Advisory file locking for cross-process store writes.
+
+:class:`~repro.analysis.backends.ProcessPoolBackend` workers share one
+store directory. Object writes are already safe against torn reads
+(tempfile + atomic ``os.replace``), but two writers replacing the same
+key, and especially interleaved appends to the JSONL catalog, want
+mutual exclusion. POSIX ``flock`` gives it cheaply; on platforms
+without ``fcntl`` the lock degrades to a no-op (the atomic-rename
+object layout remains correct, only catalog lines may interleave).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextlib.contextmanager
+def advisory_lock(path: str) -> Iterator[None]:
+    """Hold an exclusive advisory lock on ``path`` (created if absent).
+
+    Blocks until the lock is granted. Reentrant use within one process
+    is *not* supported — keep critical sections small and flat.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)

@@ -1,0 +1,310 @@
+"""ResultStore: the on-disk, content-addressed result cache.
+
+Layout (everything under one root directory)::
+
+    <root>/
+      objects/ab/abcdef...0123.json   one entry per cache key, sharded
+                                      by the key's first two hex chars
+      catalog.jsonl                   append-only lookup manifest
+      .lock / catalog.jsonl.lock      advisory lock files
+
+An entry file is a single JSON document::
+
+    {"version": 1, "key": "<64 hex>", "fingerprint": "repro=...;...",
+     "task": "repro.analysis.sweep:run_rate_delay_point",
+     "meta": {"point": "2mbps", ...}, "result": <JSON result>}
+
+Durability rules:
+
+* **Writes are atomic**: tempfile in the shard directory + ``os.replace``
+  under an advisory lock. A killed worker leaves at worst a
+  ``.tmp-*`` orphan, never a half-written entry at a live key.
+* **Reads are corruption-tolerant**: unparsable JSON, a key mismatch,
+  or a missing ``result`` field is a cache *miss*, never a crash.
+  :meth:`verify` reports such entries, :meth:`gc` collects them.
+* **Only successes are stored**: callers (see
+  :func:`repro.analysis.backends.execute_point`) must only ``put``
+  results that completed; failures go to the catalog as ``fail``
+  events and are recomputed next time.
+
+The store is cheap to pickle (paths + a fingerprint string, no open
+handles), so a :class:`~repro.analysis.backends.ProcessPoolBackend`
+ships it to workers and all processes share one cache coherently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .catalog import Catalog
+from .keys import code_fingerprint
+from .locks import advisory_lock
+
+ENTRY_VERSION = 1
+
+#: Internal miss sentinel (a stored result may legitimately be None).
+_MISS = object()
+
+
+@dataclass
+class StoreStats:
+    """Point-in-time store accounting (``repro cache stats``)."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    temp_files: int
+    events: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.events.get("hit", 0)
+        misses = self.events.get("miss", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+@dataclass
+class VerifyReport:
+    """What :meth:`ResultStore.verify` found."""
+
+    checked: int
+    ok: int
+    corrupt: List[str] = field(default_factory=list)
+    temp: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.temp
+
+
+@dataclass
+class GcReport:
+    """What :meth:`ResultStore.gc` removed."""
+
+    removed_corrupt: int
+    removed_temp: int
+    bytes_freed: int
+    kept: int
+
+
+class ResultStore:
+    """A content-addressed result cache rooted at one directory."""
+
+    def __init__(self, root: str,
+                 fingerprint: Optional[str] = None) -> None:
+        if not root:
+            raise ConfigurationError("ResultStore needs a root directory")
+        self.root = os.path.abspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        #: Pinned at construction so one sweep uses one consistent
+        #: fingerprint even if modules are reloaded mid-run.
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.catalog = Catalog(os.path.join(self.root, "catalog.jsonl"))
+        self._lock_path = os.path.join(self.root, ".lock")
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> str:
+        """The sharded object path for a cache key."""
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ConfigurationError(f"malformed cache key {key!r}")
+        return os.path.join(self.objects_dir, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, result: Any,
+            meta: Optional[Dict[str, Any]] = None,
+            task: str = "") -> str:
+        """Store one result atomically; returns the entry path.
+
+        An existing entry for ``key`` is replaced (used by ``--force``
+        refreshes); concurrent writers serialize on the advisory lock
+        and the last atomic rename wins — readers always see one
+        complete entry.
+        """
+        path = self.path_for(key)
+        payload = {
+            "version": ENTRY_VERSION,
+            "key": key,
+            "fingerprint": self.fingerprint,
+            "task": task,
+            "meta": dict(meta or {}),
+            "result": result,
+        }
+        try:
+            text = json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cache results must be JSON-serializable: {exc}")
+        shard = os.path.dirname(path)
+        os.makedirs(shard, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=shard, prefix=".tmp-",
+                                        suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.write("\n")
+            with advisory_lock(self._lock_path):
+                os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def fetch(self, key: str) -> Tuple[bool, Any]:
+        """``(found, result)`` — corruption and absence are both misses."""
+        entry = self._read_entry(self.path_for(key))
+        if entry is _MISS or entry.get("key") != key:
+            return False, None
+        return True, entry["result"]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        found, result = self.fetch(key)
+        return result if found else default
+
+    def contains(self, key: str) -> bool:
+        return self.fetch(key)[0]
+
+    __contains__ = contains
+
+    def keys(self) -> Iterator[str]:
+        """Every key with a (possibly corrupt) entry file, sorted."""
+        for path in self._object_paths():
+            name = os.path.basename(path)
+            if not name.startswith(".tmp-"):
+                yield name[:-len(".json")]
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Readable entries as ``{"key", "task", "meta", "bytes"}`` rows."""
+        for path in self._object_paths():
+            if os.path.basename(path).startswith(".tmp-"):
+                continue
+            entry = self._read_entry(path)
+            if entry is _MISS:
+                continue
+            yield {"key": entry.get("key", ""),
+                   "task": entry.get("task", ""),
+                   "meta": entry.get("meta", {}),
+                   "fingerprint": entry.get("fingerprint", ""),
+                   "bytes": self._size(path)}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def verify(self) -> VerifyReport:
+        """Check every entry parses and matches its filename key.
+
+        Detects the two failure shapes a killed worker can leave:
+        orphaned ``.tmp-*`` files (reported in ``temp``) and truncated
+        or foreign entry files (reported in ``corrupt``).
+        """
+        checked = ok = 0
+        corrupt: List[str] = []
+        temp: List[str] = []
+        for path in self._object_paths():
+            name = os.path.basename(path)
+            if name.startswith(".tmp-"):
+                temp.append(path)
+                continue
+            checked += 1
+            entry = self._read_entry(path)
+            if entry is _MISS or entry.get("key") != name[:-len(".json")]:
+                corrupt.append(path)
+            else:
+                ok += 1
+        return VerifyReport(checked=checked, ok=ok, corrupt=corrupt,
+                            temp=temp)
+
+    def gc(self) -> GcReport:
+        """Collect what :meth:`verify` flags; keeps every good entry."""
+        report = self.verify()
+        freed = 0
+        removed_corrupt = removed_temp = 0
+        with advisory_lock(self._lock_path):
+            for path in report.corrupt:
+                freed += self._size(path)
+                if self._unlink(path):
+                    removed_corrupt += 1
+            for path in report.temp:
+                freed += self._size(path)
+                if self._unlink(path):
+                    removed_temp += 1
+        return GcReport(removed_corrupt=removed_corrupt,
+                        removed_temp=removed_temp, bytes_freed=freed,
+                        kept=report.ok)
+
+    def stats(self) -> StoreStats:
+        entries = 0
+        total = 0
+        temp = 0
+        for path in self._object_paths():
+            if os.path.basename(path).startswith(".tmp-"):
+                temp += 1
+                continue
+            entries += 1
+            total += self._size(path)
+        return StoreStats(root=self.root, entries=entries,
+                          total_bytes=total, temp_files=temp,
+                          events=self.catalog.counts())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _object_paths(self) -> Iterator[str]:
+        try:
+            shards = sorted(os.listdir(self.objects_dir))
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self.objects_dir, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                yield os.path.join(shard_dir, name)
+
+    def _read_entry(self, path: str) -> Any:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return _MISS
+        if not isinstance(entry, dict) or "result" not in entry:
+            return _MISS
+        if entry.get("version") != ENTRY_VERSION:
+            return _MISS
+        return entry
+
+    @staticmethod
+    def _size(path: str) -> int:
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0
+
+    @staticmethod
+    def _unlink(path: str) -> bool:
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.root!r})"

@@ -85,3 +85,21 @@ def test_every_public_module_has_docstring():
                                              prefix="repro."):
         module = importlib.import_module(module_info.name)
         assert module.__doc__, f"{module_info.name} missing docstring"
+
+
+def test_version_single_source():
+    """pyproject.toml must defer to repro.__version__, not pin its own.
+
+    The store's cache-key fingerprint embeds ``repro.__version__``; a
+    second version declared anywhere else could silently drift and
+    leave stale cache entries looking current.
+    """
+    import repro
+
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+    assert "__version__" in repro.__all__
+    pyproject = read("pyproject.toml")
+    assert 'dynamic = ["version"]' in pyproject
+    assert 'version = {attr = "repro.__version__"}' in pyproject
+    assert re.search(r'^version\s*=\s*"', pyproject,
+                     re.MULTILINE) is None

@@ -1,0 +1,360 @@
+"""Tests for the content-addressed experiment store (repro.store)."""
+
+import os
+
+import pytest
+
+from repro.analysis.backends import (ProcessPoolBackend, SerialBackend,
+                                     execute_point)
+from repro.analysis.harness import RunBudget
+from repro.errors import ConfigurationError, SimulationError
+from repro.store import (Catalog, ResultStore, cache_key, canonical_json,
+                         code_fingerprint, point_cache_key,
+                         summarize_params, task_name)
+
+
+# Module-level workers: picklable by qualified name for the spawn pool.
+
+def cube_point(params, budget):
+    return {"value": params["x"] ** 3}
+
+
+def always_fails(params, budget):
+    raise SimulationError("diverged")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+class TestKeys:
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == \
+            canonical_json({"a": [1, 2], "b": 1})
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_canonical_json_handles_infinity(self):
+        # Fault windows use unbounded horizons; keys must not choke.
+        text = canonical_json({"end": float("inf")})
+        assert "Infinity" in text
+
+    def test_canonical_json_rejects_non_json(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"f": lambda: None})
+
+    def test_cache_key_is_stable_across_dict_order(self):
+        a = cache_key("t", {"x": 1, "y": 2})
+        b = cache_key("t", {"y": 2, "x": 1})
+        assert a == b
+        assert len(a) == 64
+        assert all(c in "0123456789abcdef" for c in a)
+
+    def test_cache_key_varies_with_params_task_fingerprint(self):
+        base = cache_key("t", {"x": 1})
+        assert cache_key("t", {"x": 2}) != base
+        assert cache_key("other", {"x": 1}) != base
+        assert cache_key("t", {"x": 1}, fingerprint="old") != base
+
+    def test_fingerprint_embeds_version(self):
+        import repro
+        assert f"repro={repro.__version__}" in code_fingerprint()
+        assert "spec=" in code_fingerprint()
+        assert "store=" in code_fingerprint()
+
+    def test_task_name_identifies_worker(self):
+        name = task_name(cube_point)
+        assert name.endswith(":cube_point")
+        assert "test_store" in name
+
+    def test_point_cache_key_matches_cache_key(self):
+        params = {"x": 3}
+        assert point_cache_key(cube_point, params) == \
+            cache_key(task_name(cube_point), params)
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, store):
+        key = cache_key("t", {"x": 1})
+        store.put(key, {"v": 42}, meta={"point": "p1"}, task="t")
+        assert store.contains(key)
+        assert key in store
+        assert store.get(key) == {"v": 42}
+
+    def test_fetch_distinguishes_none_results(self, store):
+        key = cache_key("t", {"x": 2})
+        store.put(key, None)
+        assert store.fetch(key) == (True, None)
+
+    def test_miss_on_absent_key(self, store):
+        assert store.fetch(cache_key("t", {})) == (False, None)
+        assert store.get(cache_key("t", {}), default="d") == "d"
+
+    def test_sharded_layout(self, store):
+        key = cache_key("t", {"x": 3})
+        path = store.put(key, 1)
+        assert os.path.relpath(path, store.root) == \
+            os.path.join("objects", key[:2], f"{key}.json")
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.path_for("../escape")
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, store):
+        key = cache_key("t", {"x": 4})
+        path = store.put(key, {"v": 1})
+        with open(path, "w") as fh:
+            fh.write('{"truncated": ')
+        assert not store.contains(key)
+        assert store.get(key) is None
+
+    def test_key_mismatch_is_a_miss(self, store):
+        key_a = cache_key("t", {"x": 5})
+        key_b = cache_key("t", {"x": 6})
+        store.put(key_a, {"v": 1})
+        # Copy A's entry to B's address: the embedded key betrays it.
+        os.makedirs(os.path.dirname(store.path_for(key_b)), exist_ok=True)
+        with open(store.path_for(key_a)) as src:
+            with open(store.path_for(key_b), "w") as dst:
+                dst.write(src.read())
+        assert store.contains(key_a)
+        assert not store.contains(key_b)
+
+    def test_overwrite_replaces(self, store):
+        key = cache_key("t", {"x": 7})
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 2})
+        assert store.get(key) == {"v": 2}
+
+    def test_unserializable_result_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.put(cache_key("t", {}), {"f": object()})
+
+    def test_keys_and_entries(self, store):
+        keys = [cache_key("t", {"x": i}) for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, i, meta={"point": f"p{i}"}, task="tsk")
+        assert sorted(store.keys()) == sorted(keys)
+        entries = list(store.entries())
+        assert len(entries) == 3
+        assert {e["task"] for e in entries} == {"tsk"}
+        assert all(e["bytes"] > 0 for e in entries)
+
+    def test_pickles_without_handles(self, store):
+        import pickle
+        store.put(cache_key("t", {"x": 1}), 1)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.get(cache_key("t", {"x": 1})) == 1
+        assert clone.fingerprint == store.fingerprint
+
+
+class TestVerifyAndGc:
+    def _corrupt_and_orphan(self, store):
+        good = cache_key("t", {"x": 1})
+        bad = cache_key("t", {"x": 2})
+        store.put(good, {"v": 1})
+        bad_path = store.put(bad, {"v": 2})
+        with open(bad_path, "w") as fh:
+            fh.write("not json at all")
+        # Simulate a killed worker's partial write.
+        shard = os.path.dirname(bad_path)
+        tmp = os.path.join(shard, ".tmp-killed.json")
+        with open(tmp, "w") as fh:
+            fh.write('{"version": 1, "key": "')
+        return good, bad, tmp
+
+    def test_verify_detects_partial_and_corrupt(self, store):
+        good, bad, tmp = self._corrupt_and_orphan(store)
+        report = store.verify()
+        assert not report.clean
+        assert report.ok == 1
+        assert report.checked == 2
+        assert report.corrupt == [store.path_for(bad)]
+        assert report.temp == [tmp]
+
+    def test_gc_collects_what_verify_flags(self, store):
+        good, bad, tmp = self._corrupt_and_orphan(store)
+        report = store.gc()
+        assert report.removed_corrupt == 1
+        assert report.removed_temp == 1
+        assert report.bytes_freed > 0
+        assert report.kept == 1
+        assert store.verify().clean
+        assert store.contains(good)
+        assert not store.contains(bad)
+
+    def test_stats(self, store):
+        store.put(cache_key("t", {"x": 1}), {"v": 1})
+        store.catalog.record("ab" * 32, "miss")
+        store.catalog.record("ab" * 32, "hit")
+        stats = store.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes > 0
+        assert stats.events == {"miss": 1, "hit": 1}
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_store_stats_and_verify(self, store):
+        assert store.stats().entries == 0
+        assert store.stats().hit_rate == 0.0
+        assert store.verify().clean
+        assert store.gc().kept == 0
+
+
+class TestCatalog:
+    def test_record_and_entries(self, tmp_path):
+        catalog = Catalog(str(tmp_path / "c.jsonl"))
+        catalog.record("k1", "miss", task="t", backend="serial",
+                       wall_s=0.5, summary={"cca": "bbr"})
+        catalog.record("k1", "hit", task="t", backend="process-pool")
+        entries = list(catalog.entries())
+        assert [e["event"] for e in entries] == ["miss", "hit"]
+        assert entries[0]["summary"]["cca"] == "bbr"
+        assert catalog.counts() == {"miss": 1, "hit": 1}
+
+    def test_rejects_unknown_event(self, tmp_path):
+        with pytest.raises(ValueError):
+            Catalog(str(tmp_path / "c.jsonl")).record("k", "yolo")
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        catalog = Catalog(str(path))
+        catalog.record("k1", "miss")
+        with open(path, "a") as fh:
+            fh.write('{"torn": \n')
+        catalog.record("k2", "hit")
+        assert [e["key"] for e in catalog.entries()] == ["k1", "k2"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert list(Catalog(str(tmp_path / "nope.jsonl")).entries()) == []
+        assert Catalog(str(tmp_path / "nope.jsonl")).counts() == {}
+
+    def test_query_by_cca_rate_jitter(self, tmp_path):
+        catalog = Catalog(str(tmp_path / "c.jsonl"))
+        catalog.record("k1", "miss", summary={
+            "cca": "bbr", "rate_mbps": 2.0, "jitter": []})
+        catalog.record("k2", "hit", summary={
+            "cca": "vegas+copa", "rate_mbps": 10.0,
+            "jitter": ["constant_jitter"]})
+        assert [e["key"] for e in catalog.query(cca="vegas")] == ["k2"]
+        assert [e["key"] for e in catalog.query(rate_mbps=2.0)] == ["k1"]
+        assert [e["key"] for e in
+                catalog.query(jitter="constant_jitter")] == ["k2"]
+        assert [e["key"] for e in catalog.query(event="hit")] == ["k2"]
+        assert [e["key"] for e in catalog.query(cca="bbr",
+                                                event="hit")] == []
+
+
+class TestSummarizeParams:
+    def test_sweep_point_params(self):
+        from repro import units
+        from repro.spec import CCASpec, single_flow_scenario
+        spec = single_flow_scenario(CCASpec("bbr"), rate=units.mbps(2),
+                                    rm=0.05, seed=9)
+        params = {"scenario": spec.to_json(), "duration": 5.0,
+                  "warmup": 2.5}
+        summary = summarize_params(params)
+        assert summary["cca"] == "bbr"
+        assert summary["flows"] == 1
+        assert summary["rate_mbps"] == pytest.approx(2.0)
+        assert summary["seed"] == 9
+        assert summary["duration"] == 5.0
+
+    def test_jitter_and_fault_kinds_lifted(self):
+        from repro.cli import parse_flow_spec
+        from repro.spec import LinkSpec, ScenarioSpec
+        flow = parse_flow_spec("copa:poison:ge0.02", rm=0.05)
+        spec = ScenarioSpec(link=LinkSpec(rate=1e6), flows=(flow,))
+        summary = summarize_params({"scenario": spec.to_json()})
+        assert summary["jitter"] == ["exempt_first_jitter"]
+        assert summary["faults"] == ["gilbert_elliott"]
+
+    def test_named_scenario_params(self):
+        assert summarize_params({"scenario": "copa"}) == {"cca": "copa"}
+
+    def test_garbage_degrades_to_empty(self):
+        assert summarize_params({}) == {}
+        assert summarize_params({"scenario": 42}) == {}
+        assert summarize_params({"scenario": {"flows": 3}}) == {}
+
+
+class TestExecutePointCaching:
+    def test_miss_then_hit(self, store):
+        budget = RunBudget(retries=0)
+        first = execute_point(cube_point, "p", {"x": 2}, budget,
+                              store=store)
+        assert first.ok and not first.cached
+        assert first.result == {"value": 8}
+        assert store.get(first.cache_key) == {"value": 8}
+        second = execute_point(cube_point, "p", {"x": 2}, budget,
+                               store=store)
+        assert second.cached
+        assert second.result == first.result
+        assert second.cache_key == first.cache_key
+        assert store.catalog.counts() == {"miss": 1, "hit": 1}
+
+    def test_failures_never_poison_the_store(self, store):
+        budget = RunBudget(retries=2)
+        outcome = execute_point(always_fails, "p", {"x": 1}, budget,
+                                store=store)
+        assert not outcome.ok
+        assert outcome.cache_key is not None
+        assert not store.contains(outcome.cache_key)
+        assert store.stats().entries == 0
+        assert store.catalog.counts() == {"fail": 1}
+        # And the failure is not served from cache next time either.
+        again = execute_point(always_fails, "p", {"x": 1}, budget,
+                              store=store)
+        assert not again.ok and not again.cached
+
+    def test_refresh_recomputes_and_overwrites(self, store):
+        budget = RunBudget(retries=0)
+        execute_point(cube_point, "p", {"x": 2}, budget, store=store)
+        forced = execute_point(cube_point, "p", {"x": 2}, budget,
+                               store=store, refresh=True)
+        assert forced.ok and not forced.cached
+        assert store.catalog.counts() == {"miss": 2}
+
+    def test_no_store_keeps_legacy_shape(self):
+        outcome = execute_point(cube_point, "p", {"x": 2},
+                                RunBudget(retries=0))
+        assert outcome.ok and not outcome.cached
+        assert outcome.cache_key is None
+
+    def test_budget_not_part_of_key(self, store):
+        a = execute_point(cube_point, "p", {"x": 2},
+                          RunBudget(retries=0), store=store)
+        b = execute_point(cube_point, "p", {"x": 2},
+                          RunBudget(retries=3, max_events=1000),
+                          store=store)
+        assert b.cached
+        assert a.cache_key == b.cache_key
+
+
+class TestBackendsShareTheStore:
+    def test_serial_populates_pool_hits(self, store):
+        points = [(f"p{i}", {"x": i}) for i in range(4)]
+        budget = RunBudget(retries=0)
+        serial = list(SerialBackend().execute(cube_point, points, budget,
+                                              store=store))
+        assert all(not o.cached for o in serial)
+        pooled = list(ProcessPoolBackend(jobs=2).execute(
+            cube_point, points, budget, store=store))
+        assert all(o.cached for o in pooled)
+        assert {o.key: o.result for o in pooled} == \
+            {o.key: o.result for o in serial}
+
+    def test_pool_populates_serial_hits(self, store):
+        points = [(f"p{i}", {"x": i}) for i in range(4)]
+        budget = RunBudget(retries=0)
+        pooled = list(ProcessPoolBackend(jobs=2).execute(
+            cube_point, points, budget, store=store))
+        assert all(not o.cached for o in pooled)
+        serial = list(SerialBackend().execute(cube_point, points, budget,
+                                              store=store))
+        assert all(o.cached for o in serial)
+        counts = store.catalog.counts()
+        assert counts == {"miss": 4, "hit": 4}
+        backends = {e["backend"] for e in store.catalog.entries()}
+        assert backends == {"process-pool", "serial"}

@@ -53,6 +53,29 @@ def test_write_tsv_rejects_ragged_columns(tmp_path):
                   {"a": np.array([1.0]), "b": np.array([1.0, 2.0])})
 
 
+def test_arrays_survive_the_store(run, tmp_path):
+    """Trace arrays serialized into the result store come back exact.
+
+    flow_arrays output is float64 from plain Python floats, so a JSON
+    round-trip through the content-addressed store must be lossless —
+    this is what makes cached and live runs byte-identical downstream.
+    """
+    from repro.store import ResultStore, cache_key
+
+    arrays = flow_arrays(run.scenario.flows[0].recorder)
+    payload = {name: arrays[name].tolist()
+               for name in ("rtt_times", "rtt_values", "sample_times",
+                            "cwnd_values", "delivered_values")}
+    store = ResultStore(str(tmp_path / "cache"))
+    key = cache_key("trace", {"run": "v"})
+    store.put(key, payload)
+    fetched = store.get(key)
+    for name, values in payload.items():
+        assert fetched[name] == values
+        assert np.array_equal(np.asarray(fetched[name], dtype=float),
+                              arrays[name])
+
+
 def test_export_run_tsv(run, tmp_path):
     written = export_run_tsv(run, str(tmp_path), prefix="demo")
     assert set(written) == {"v:rtt", "v:cwnd", "queue"}
