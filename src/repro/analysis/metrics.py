@@ -40,10 +40,19 @@ def queueing_delay_ms(stats: FlowStats, rm: float) -> float:
 
 def summarize_run(result: RunResult) -> dict:
     """A dictionary digest convenient for printing or asserting on."""
+    # Single pass over the per-flow stats; values match the individual
+    # helpers exactly.
+    rates: List[float] = []
+    losses: List[int] = []
+    rtts: List[float] = []
+    for s in result.stats:
+        rates.append(units.to_mbps(s.throughput))
+        losses.append(s.losses)
+        rtts.append(s.mean_rtt * 1e3)
     return {
-        "throughputs_mbps": throughputs_mbps(result.stats),
+        "throughputs_mbps": rates,
         "ratio": result.throughput_ratio(),
         "utilization": result.utilization(),
-        "losses": [s.losses for s in result.stats],
-        "mean_rtt_ms": mean_rtt_ms(result.stats),
+        "losses": losses,
+        "mean_rtt_ms": rtts,
     }

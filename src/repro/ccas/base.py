@@ -63,7 +63,11 @@ class CCA:
 
     def on_send(self, now: float, seq: int, size: int,
                 is_retransmit: bool) -> None:
-        """A packet was handed to the network (PCC monitors use this)."""
+        """A packet was handed to the network (PCC monitors use this).
+
+        Must not change ``cwnd_bytes`` or ``pacing_rate``: the sender
+        caches both across a same-instant send burst.
+        """
 
     def on_loss(self, now: float, seq: int, lost_bytes: int) -> None:
         """A packet was declared lost by gap detection."""

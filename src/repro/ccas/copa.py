@@ -62,17 +62,19 @@ class Copa(WindowCCA):
     # -- RTT filters -----------------------------------------------------
 
     def _update_filters(self, now: float, rtt: float) -> None:
-        if self.srtt is None:
-            self.srtt = rtt
-        else:
-            self.srtt = 0.9 * self.srtt + 0.1 * rtt
-        window = max(self.srtt / 2, 0.01)
+        srtt = self.srtt
+        srtt = rtt if srtt is None else 0.9 * srtt + 0.1 * rtt
+        self.srtt = srtt
+        window = srtt / 2
+        if window < 0.01:
+            window = 0.01
         history = self._rtt_history
         # Monotonic deque: drop entries that can never again be the min.
         while history and history[-1][1] >= rtt:
             history.pop()
         history.append((now, rtt))
-        while history and history[0][0] < now - window:
+        cutoff = now - window
+        while history[0][0] < cutoff:
             history.popleft()
         if self.base_rtt_oracle is None:
             if math.isinf(self.min_rtt_window):
@@ -107,33 +109,45 @@ class Copa(WindowCCA):
 
     def on_ack(self, info: AckInfo) -> None:
         now = info.now
-        self._update_filters(now, info.rtt)
-        standing = self.standing_rtt
-        min_rtt = self.min_rtt
+        rtt = info.rtt
+        self._update_filters(now, rtt)
+        # Inlined standing_rtt / min_rtt (this runs once per ACK).
+        history = self._rtt_history
+        standing = history[0][1] if history else math.inf
+        oracle = self.base_rtt_oracle
+        if oracle is not None:
+            min_rtt = oracle
+        elif math.isinf(self.min_rtt_window):
+            min_rtt = self._min_rtt_scalar
+        else:
+            long_hist = self._min_rtt_history
+            min_rtt = long_hist[0][1] if long_hist else math.inf
         if not (math.isfinite(standing) and math.isfinite(min_rtt)):
             return
         dq = max(standing - min_rtt, 0.0)
+        delta = self.delta
         if dq <= 1e-9:
             target_rate = math.inf
         else:
-            target_rate = 1.0 / (self.delta * dq)   # packets per second
-        current_rate = self.cwnd / standing
+            target_rate = 1.0 / (delta * dq)   # packets per second
+        cwnd = self.cwnd
+        current_rate = cwnd / standing
 
         if self._slow_start:
             if current_rate < target_rate:
-                self.cwnd += info.acked_bytes / self.mss
+                self.cwnd = cwnd + info.acked_bytes / self.mss
                 return
             self._slow_start = False
 
         # Cap the velocity so one RTT's worth of ACKs (~cwnd of them)
         # changes cwnd by at most a factor of 1.5: v/delta <= cwnd/2.
-        velocity = min(self.velocity, self.delta * self.cwnd / 2)
-        step = velocity / (self.delta * self.cwnd)
+        velocity = min(self.velocity, delta * cwnd / 2)
+        step = velocity / (delta * cwnd)
         if current_rate < target_rate:
-            self.cwnd += step
+            self.cwnd = cwnd + step
             self._note_direction(+1)
         else:
-            self.cwnd -= step
+            self.cwnd = cwnd - step
             self._note_direction(-1)
         self.clamp_cwnd()
 

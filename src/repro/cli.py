@@ -15,6 +15,10 @@ Installed as the ``repro`` console script::
     repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
     repro theorem 1|2|3
     repro cache stats|ls|gc|verify --cache-dir ~/.repro-cache
+    repro bench --json BENCH_sim.json
+    repro bench --quick --compare BENCH_sim.json
+    repro run --rate 48 --rm 40 --cca copa --profile
+    repro sweep --cca copa --rates 2,10,50 --profile --profile-out p.pstats
 
 Flow-spec strings and ``--link-*`` flags are sugar over the declarative
 :mod:`repro.spec` layer: every invocation first assembles a
@@ -79,6 +83,20 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--force", action="store_true",
         help="recompute cached points and overwrite their store entries")
+
+
+def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
+    """cProfile flags shared by run/sweep."""
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the command under cProfile and print the top "
+             "functions to stderr when it finishes")
+    parser.add_argument(
+        "--profile-top", type=int, default=25, metavar="N",
+        help="how many profile rows to print (default 25)")
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="also dump raw pstats data to PATH (for snakeviz etc.)")
 
 
 def _cache_store(args: argparse.Namespace) -> Optional[ResultStore]:
@@ -300,7 +318,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "warmup": warmup,
             "title": f"{name}, {duration:.0f} s",
         }))
-    backend = make_backend(args.jobs)
+    backend = make_backend(args.jobs, chunksize=args.chunksize)
     budget = RunBudget(max_events=args.max_events, wall_clock=None,
                        retries=0)
     store = _cache_store(args)
@@ -348,7 +366,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                               wall_clock=args.wall_clock),
                              checkpoint_path=args.checkpoint,
                              retry_failures=args.retry_failures,
-                             jobs=args.jobs, seed=args.seed,
+                             backend=make_backend(args.jobs,
+                                                  chunksize=args.chunksize),
+                             seed=args.seed,
                              template=template, store=store,
                              refresh=args.force)
     if args.json:
@@ -388,7 +408,7 @@ def cmd_starve(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"unknown scenario {name!r}; choose from "
                 f"{', '.join(sorted(STARVE_SCENARIOS))}")
-    backend = make_backend(args.jobs)
+    backend = make_backend(args.jobs, chunksize=args.chunksize)
     budget = RunBudget(max_events=None, wall_clock=None, retries=0)
     store = _cache_store(args)
     points = [(name, {"scenario": name}) for name in names]
@@ -470,6 +490,36 @@ def cmd_cache(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown cache action {args.action!r}")
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf suite; optionally write and/or regression-check it."""
+    from .perf.bench import compare_suites, describe_suite, run_suite
+    doc = run_suite(quick=args.quick)
+    print(describe_suite(doc))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.compare:
+        try:
+            with open(args.compare, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"cannot read baseline {args.compare!r}: {exc}")
+        problems = compare_suites(doc, baseline,
+                                  tolerance=args.tolerance)
+        if problems:
+            print(f"{len(problems)} perf regression(s) vs "
+                  f"{args.compare}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"no perf regressions vs {args.compare} "
+              f"(tolerance {args.tolerance}x)")
+    return 0
+
+
 def cmd_theorem(args: argparse.Namespace) -> int:
     from .core.theorems import (construct_starvation,
                                 construct_strong_model_starvation,
@@ -549,6 +599,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run multiple scenarios (--spec/--cca sets) in N worker "
              "processes")
     run_parser.add_argument(
+        "--chunksize", type=int, default=1,
+        help="scenarios per worker task with --jobs (default 1); "
+             "larger chunks amortize IPC for many short scenarios")
+    run_parser.add_argument(
         "--buffer-bdp", type=float, default=4.0,
         help="droptail buffer as a multiple of the BDP (default 4; "
              "pass 0 for an unbounded buffer)")
@@ -568,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-events", type=int, default=None,
         help="abort the run after this many engine events (watchdog)")
     _add_cache_flags(run_parser)
+    _add_profile_flags(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = sub.add_parser("sweep",
@@ -580,6 +635,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="run grid points in N worker processes (bit-identical "
              "to serial)")
+    sweep_parser.add_argument(
+        "--chunksize", type=int, default=1,
+        help="grid points per worker task with --jobs (default 1); "
+             "larger chunks amortize IPC for grids of short points")
     sweep_parser.add_argument(
         "--seed", type=int, default=0,
         help="root seed; per-point scenario seeds derive from it")
@@ -604,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run checkpointed failed points (e.g. after raising "
              "--max-events) instead of keeping their failure records")
     _add_cache_flags(sweep_parser)
+    _add_profile_flags(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     starve_parser = sub.add_parser(
@@ -613,6 +673,9 @@ def build_parser() -> argparse.ArgumentParser:
     starve_parser.add_argument(
         "--jobs", type=int, default=None,
         help="run multiple scenarios in N worker processes")
+    starve_parser.add_argument(
+        "--chunksize", type=int, default=1,
+        help="scenarios per worker task with --jobs (default 1)")
     _add_cache_flags(starve_parser)
     starve_parser.set_defaults(func=cmd_starve)
 
@@ -634,12 +697,35 @@ def build_parser() -> argparse.ArgumentParser:
     theorem_parser.add_argument("--s", type=float, default=10.0,
                                 help="target unfairness ratio")
     theorem_parser.set_defaults(func=cmd_theorem)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the simulator performance suite")
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="~10x smaller workloads (CI smoke mode); rate metrics stay "
+             "comparable to a full run")
+    bench_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the suite document as JSON (e.g. BENCH_sim.json)")
+    bench_parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="exit 1 if any rate metric is more than --tolerance times "
+             "slower than this committed baseline JSON")
+    bench_parser.add_argument(
+        "--tolerance", type=float, default=2.5,
+        help="slowdown factor treated as a regression (default 2.5)")
+    bench_parser.set_defaults(func=cmd_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "profile", False):
+        from .perf.profiling import maybe_profile
+        with maybe_profile(True, top=args.profile_top,
+                           out=args.profile_out):
+            return args.func(args)
     return args.func(args)
 
 

@@ -1,0 +1,19 @@
+"""Performance subsystem: microbenchmarks, profiling, golden traces.
+
+Three tools keep the simulator's hot path fast and honest:
+
+* :mod:`repro.perf.bench` — a fixed microbenchmark suite (engine event
+  throughput, per-CCA single-flow packet rates, sweep-point wall time)
+  behind the ``repro bench`` CLI command, emitting ``BENCH_sim.json``
+  and comparing against a committed baseline in CI.
+* :mod:`repro.perf.profiling` — a cProfile wrapper behind the
+  ``--profile`` flag of ``repro run``/``repro sweep``.
+* :mod:`repro.perf.golden` — deterministic digest capture for the
+  golden-trace guard (``tests/test_golden_traces.py``): every hot-path
+  optimization must reproduce the recorded digests bit for bit.
+"""
+
+from .bench import compare_suites, run_suite
+from .profiling import maybe_profile
+
+__all__ = ["compare_suites", "maybe_profile", "run_suite"]

@@ -1,0 +1,55 @@
+"""cProfile wrapper behind ``repro run --profile`` / ``repro sweep --profile``.
+
+Keeps the CLI integration to a single context manager::
+
+    with maybe_profile(args.profile, top=args.profile_top,
+                       out=args.profile_out):
+        ...run or sweep...
+
+When disabled it is a no-op with zero overhead; when enabled it prints
+the top-N functions by cumulative time and optionally dumps pstats
+binary data for ``snakeviz``/``pstats`` post-analysis.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+
+@contextmanager
+def maybe_profile(enabled: bool, top: int = 25, sort: str = "cumulative",
+                  out: Optional[str] = None,
+                  stream: Optional[IO[str]] = None) -> Iterator[None]:
+    """Profile the body under cProfile when ``enabled`` is true.
+
+    Args:
+        enabled: no-op passthrough when false.
+        top: number of rows in the printed report.
+        sort: pstats sort key (``cumulative``, ``tottime``, ...).
+        out: optional path for a binary pstats dump
+            (``python -m pstats <out>`` or snakeviz to explore).
+        stream: report destination; defaults to stderr so profiling
+            never pollutes JSON written to stdout.
+    """
+    if not enabled:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        report = stream if stream is not None else sys.stderr
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats(sort).print_stats(top)
+        report.write(buf.getvalue())
+        if out:
+            stats.dump_stats(out)
+            report.write(f"profile data written to {out}\n")

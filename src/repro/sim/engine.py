@@ -9,20 +9,41 @@ The engine is deliberately tiny: everything network-specific lives in the
 other modules of :mod:`repro.sim`, which compose by passing each other
 packets through ``receive(packet, now)`` calls and scheduling future work
 through the simulator.
+
+Hot-path design notes (see docs/PERFORMANCE.md):
+
+* Heap entries are ``(time, seq, event)`` tuples, not Event objects.
+  ``seq`` is unique, so tuple comparison never reaches the Event and
+  every sift comparison runs at C speed — the Python-level ``__lt__``
+  used to be the single most-called function of a long run.
+* Executed and cancelled events are recycled through a bounded free
+  list, so steady-state runs allocate almost no Event objects. The
+  contract for holding an Event reference: it is valid until the event
+  fires or is popped cancelled; components that keep timer handles must
+  drop them when the callback runs (all in-tree components do).
+* :meth:`run` pops and dispatches in one fused loop instead of the
+  ``peek_time()``/``step()`` pair, which traversed the heap root twice
+  per event, and the watchdog-free fast path carries no budget checks.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import BudgetExceededError, SimulationError
 
-#: How many events to execute between wall-clock watchdog checks.
+#: How many heap pops between wall-clock watchdog checks.
 #: ``time.monotonic`` is cheap but not free; checking every event would
-#: cost a few percent on the hot loop for no added safety.
+#: cost a few percent on the hot loop for no added safety. Cancelled
+#: pops count toward the cadence too — a burst of lazily-deleted events
+#: takes real time but executes nothing, and must not starve the check.
 _WALL_CHECK_INTERVAL = 512
+
+#: Free-list bound: recycling is a steady-state optimization, not a
+#: cache of unbounded size after a cancellation storm.
+_POOL_MAX = 4096
 
 
 class Event:
@@ -30,6 +51,12 @@ class Event:
 
     Events may be cancelled; cancelled events stay in the heap but are
     skipped when popped (lazy deletion), which keeps cancellation O(1).
+
+    An Event reference is valid until the callback fires (or the
+    cancelled event is popped); after that the engine may recycle the
+    object for a future ``schedule`` call. Holders of long-lived timer
+    handles must therefore clear them when the callback runs — which
+    every callback naturally does by rescheduling or nulling its handle.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
@@ -61,14 +88,35 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._pool: List[Event] = []
 
     @property
     def events_processed(self) -> int:
         """Number of (non-cancelled) events executed so far."""
         return self._events_processed
+
+    def _acquire(self, time: float, callback: Callable[..., None],
+                 args: tuple) -> Event:
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            return event
+        return Event(time, self._seq, callback, args)
+
+    def _recycle(self, event: Event) -> None:
+        pool = self._pool
+        if len(pool) < _POOL_MAX:
+            event.callback = None  # type: ignore[assignment]
+            event.args = ()
+            pool.append(event)
 
     def schedule_at(self, time: float, callback: Callable[..., None],
                     *args: Any) -> Event:
@@ -76,12 +124,25 @@ class Simulator:
 
         ``time`` must not be in the past (it may equal ``now``).
         """
-        if time < self.now - 1e-12:
-            raise SimulationError(
-                f"cannot schedule event at t={time} before now={self.now}")
-        event = Event(max(time, self.now), self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        now = self.now
+        if time < now:
+            if time < now - 1e-12:
+                raise SimulationError(
+                    f"cannot schedule event at t={time} before now={now}")
+            time = now
+        seq = self._seq
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._seq = seq + 1
         return event
 
     def schedule(self, delay: float, callback: Callable[..., None],
@@ -89,25 +150,49 @@ class Simulator:
         """Schedule ``callback(*args)`` after a relative ``delay`` >= 0."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self.now + delay, callback, *args)
+        time = self.now + delay
+        seq = self._seq
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._seq = seq + 1
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next pending event, or None if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if not entry[2].cancelled:
+                return entry[0]
+            heapq.heappop(heap)
+            self._recycle(entry[2])
+        return None
 
     def step(self) -> bool:
         """Execute the next pending event. Returns False when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            _, _, event = heapq.heappop(heap)
             if event.cancelled:
+                self._recycle(event)
                 continue
             self.now = event.time
             self._events_processed += 1
-            event.callback(*event.args)
+            callback, args = event.callback, event.args
+            self._recycle(event)
+            if args:
+                callback(*args)
+            else:
+                callback()
             return True
         return False
 
@@ -127,38 +212,107 @@ class Simulator:
                 the clock, so a time horizon alone cannot stop it).
             wall_clock_budget: abort with :class:`BudgetExceededError`
                 after this many real seconds (checked every
-                ``_WALL_CHECK_INTERVAL`` events, so very cheap).
+                ``_WALL_CHECK_INTERVAL`` heap pops — cancelled pops
+                included, so a cancellation burst cannot defer the
+                check).
         """
+        if max_events is None and wall_clock_budget is None:
+            self._run_fast(until)
+        else:
+            self._run_budgeted(until, max_events, wall_clock_budget)
+        if self.now < until:
+            self.now = until
+
+    def _run_fast(self, until: float) -> None:
+        heap = self._heap
+        heappop = heapq.heappop
+        pool = self._pool
+        executed = self._events_processed
+        try:
+            while heap:
+                entry = heap[0]
+                event_time = entry[0]
+                if event_time > until:
+                    break
+                heappop(heap)
+                event = entry[2]
+                if event.cancelled:
+                    if len(pool) < _POOL_MAX:
+                        event.callback = None
+                        event.args = ()
+                        pool.append(event)
+                    continue
+                self.now = event_time
+                executed += 1
+                callback, args = event.callback, event.args
+                if len(pool) < _POOL_MAX:
+                    event.callback = None
+                    event.args = ()
+                    pool.append(event)
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+        finally:
+            self._events_processed = executed
+
+    def _run_budgeted(self, until: float, max_events: Optional[int],
+                      wall_clock_budget: Optional[float]) -> None:
+        heap = self._heap
+        heappop = heapq.heappop
+        pool = self._pool
         events_at_entry = self._events_processed
+        executed = events_at_entry
         wall_start = time.monotonic() if wall_clock_budget is not None \
             else 0.0
-        while True:
-            next_time = self.peek_time()
-            if next_time is None or next_time > until:
+        since_check = 0
+        while heap:
+            entry = heap[0]
+            event_time = entry[0]
+            if event_time > until:
                 break
-            self.step()
+            heappop(heap)
+            event = entry[2]
+            if wall_clock_budget is not None:
+                since_check += 1
+                if since_check >= _WALL_CHECK_INTERVAL:
+                    since_check = 0
+                    elapsed = time.monotonic() - wall_start
+                    if elapsed > wall_clock_budget:
+                        raise BudgetExceededError(
+                            f"run exceeded wall-clock budget of "
+                            f"{wall_clock_budget:.1f}s after "
+                            f"{elapsed:.1f}s at t={self.now:.6f}s "
+                            f"(horizon {until}s)",
+                            kind="wall_clock", limit=wall_clock_budget,
+                            value=elapsed, sim_time=self.now)
+            if event.cancelled:
+                if len(pool) < _POOL_MAX:
+                    event.callback = None
+                    event.args = ()
+                    pool.append(event)
+                continue
+            self.now = event_time
+            executed += 1
+            self._events_processed = executed
+            callback, args = event.callback, event.args
+            if len(pool) < _POOL_MAX:
+                event.callback = None
+                event.args = ()
+                pool.append(event)
+            if args:
+                callback(*args)
+            else:
+                callback()
             if max_events is not None:
-                executed = self._events_processed - events_at_entry
-                if executed >= max_events:
+                within_call = executed - events_at_entry
+                if within_call >= max_events:
                     raise BudgetExceededError(
                         f"run exceeded event budget of {max_events} "
                         f"events at t={self.now:.6f}s (horizon "
                         f"{until}s); likely a livelocked component",
-                        kind="events", limit=max_events, value=executed,
-                        sim_time=self.now)
-            if (wall_clock_budget is not None
-                    and (self._events_processed - events_at_entry)
-                    % _WALL_CHECK_INTERVAL == 0):
-                elapsed = time.monotonic() - wall_start
-                if elapsed > wall_clock_budget:
-                    raise BudgetExceededError(
-                        f"run exceeded wall-clock budget of "
-                        f"{wall_clock_budget:.1f}s after {elapsed:.1f}s "
-                        f"at t={self.now:.6f}s (horizon {until}s)",
-                        kind="wall_clock", limit=wall_clock_budget,
-                        value=elapsed, sim_time=self.now)
-        if self.now < until:
-            self.now = until
+                        kind="events", limit=max_events,
+                        value=within_call, sim_time=self.now)
 
     def run_all(self, max_events: int = 50_000_000,
                 wall_clock_budget: Optional[float] = None) -> None:

@@ -248,9 +248,18 @@ class DuplicateElement:
 
     def receive(self, packet: Packet, now: float) -> None:
         self.forwarded += 1
-        self.sink.receive(packet, now)
-        if self.dup_prob > 0 and self._rng.random() < self.dup_prob:
+        duplicate = (self.dup_prob > 0
+                     and self._rng.random() < self.dup_prob)
+        if duplicate:
+            # The same object is delivered twice, so it must never be
+            # recycled into a packet pool while the second copy is in
+            # flight. The flag is checked before the first delivery:
+            # downstream may consume (and try to release) the first
+            # copy synchronously.
+            packet.poolable = False
             self.duplicated += 1
+        self.sink.receive(packet, now)
+        if duplicate:
             self.sink.receive(packet, now)
 
 

@@ -15,6 +15,20 @@ simpler than TCP but preserves everything the paper's CCAs need:
 The receiver supports immediate ACKs, delayed ACKs (ACK every ``every``-th
 packet or after ``timeout``), which is the mechanism behind the paper's
 Figure 7 experiment.
+
+Hot-path design notes (see docs/PERFORMANCE.md):
+
+* The RTO backstop is deadline-deferred: instead of cancelling and
+  rescheduling a timer on every ACK (which used to leave hundreds of
+  lazily-deleted events in the heap at any moment), the sender tracks
+  ``_rto_deadline`` and lets an already-scheduled timer wake up, notice
+  the deadline moved, and re-arm itself. Firing times are identical.
+* The pacing timer is kept when re-armed for the same release time —
+  the common case when several ACKs arrive between sends.
+* Senders/receivers built with a shared :class:`~repro.sim.packet.
+  PacketPool` recycle packet and ACK objects instead of allocating one
+  per event (``build_dumbbell`` wires one pool per scenario; hand-built
+  hosts default to plain allocation).
 """
 
 from __future__ import annotations
@@ -25,7 +39,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
 from .engine import Event, Simulator
-from .packet import Ack, AckInfo, Packet
+from .packet import Ack, AckInfo, Packet, PacketPool
 
 ACK_SIZE = 40
 
@@ -41,13 +55,16 @@ class Sender:
         start_time: when the flow starts sending.
         reorder_threshold: sequence gap (in packets) treated as loss.
         min_rto / rto_multiplier: retransmission-timeout backstop.
+        pool: optional shared packet/ACK free list; ``None`` (the
+            default) allocates plain objects.
     """
 
     def __init__(self, sim: Simulator, flow_id: int, cca,
                  mss: int = 1500, start_time: float = 0.0,
                  reorder_threshold: int = 3,
                  min_rto: float = 0.2, rto_multiplier: float = 3.0,
-                 burst_size: int = 1) -> None:
+                 burst_size: int = 1,
+                 pool: Optional[PacketPool] = None) -> None:
         if mss <= 0:
             raise ConfigurationError(f"mss must be > 0, got {mss}")
         if burst_size < 1:
@@ -64,6 +81,7 @@ class Sender:
         # GSO/offload-style batching (Section 5.4 discussion): hold
         # window permission until a full burst can be released at once.
         self.burst_size = burst_size
+        self.pool = pool
 
         self.path: Optional[object] = None  # first element of forward path
 
@@ -90,6 +108,7 @@ class Sender:
 
         self._pacing_timer: Optional[Event] = None
         self._rto_timer: Optional[Event] = None
+        self._rto_deadline = 0.0
         self._next_send_time = 0.0
         self._started = False
 
@@ -126,10 +145,40 @@ class Sender:
         return max(self.min_rto, self.rto_multiplier * self.srtt)
 
     def _arm_rto(self) -> None:
-        if self._rto_timer is not None:
-            self._rto_timer.cancel()
-        self._rto_timer = self.sim.schedule(self._current_rto(),
-                                            self._on_rto)
+        """Move the RTO deadline; reuse a pending wakeup when possible.
+
+        A timer already set to wake at or before the new deadline is
+        left alone — :meth:`_on_rto_timer` re-arms to the deferred
+        deadline when it fires early. This replaces the old
+        cancel-and-reschedule per ACK, which filled the event heap with
+        lazily-deleted timers (one per ACK for the whole RTO span).
+        """
+        srtt = self.srtt
+        if srtt is None:
+            rto = max(self.min_rto, 1.0)
+        else:
+            rto = self.rto_multiplier * srtt
+            if rto < self.min_rto:
+                rto = self.min_rto
+        deadline = self.sim.now + rto
+        self._rto_deadline = deadline
+        timer = self._rto_timer
+        if timer is not None:
+            if not timer.cancelled and timer.time <= deadline:
+                return
+            timer.cancel()
+        self._rto_timer = self.sim.schedule_at(deadline,
+                                               self._on_rto_timer)
+
+    def _on_rto_timer(self) -> None:
+        self._rto_timer = None
+        deadline = self._rto_deadline
+        if self.sim.now < deadline - 1e-12:
+            # ACKs moved the deadline since this wakeup was scheduled.
+            self._rto_timer = self.sim.schedule_at(deadline,
+                                                   self._on_rto_timer)
+            return
+        self._on_rto()
 
     def _window_allows(self) -> bool:
         return self.inflight_bytes + self.mss <= self.cca.cwnd_bytes
@@ -150,20 +199,35 @@ class Sender:
             raise ConfigurationError("sender has no forward path attached")
         if not self._burst_gate_open():
             return
-        while self._window_allows():
-            rate = self.cca.pacing_rate
+        cca = self.cca
+        sim = self.sim
+        mss = self.mss
+        # cwnd/pacing are hoisted out of the loop: on_send must not move
+        # them (see CCA.on_send), and nothing else runs between sends.
+        cwnd = cca.cwnd_bytes
+        rate = cca.pacing_rate
+        while self.inflight_bytes + mss <= cwnd:
             if rate is not None:
                 if rate <= 0:
                     return  # paced at zero: wait for the CCA to raise it
-                if self.sim.now + 1e-15 < self._next_send_time:
+                if sim.now + 1e-15 < self._next_send_time:
                     self._arm_pacing_timer()
                     return
             self._send_one()
             if rate is not None:
-                base = max(self._next_send_time, self.sim.now)
-                self._next_send_time = base + self.mss / rate
+                base = self._next_send_time
+                if base < sim.now:
+                    base = sim.now
+                self._next_send_time = base + mss / rate
 
     def _arm_pacing_timer(self) -> None:
+        """Arm the pacing wakeup at ``_next_send_time``.
+
+        Always cancel-and-reschedule: keeping a live timer aimed at the
+        same release time would preserve its original (earlier) heap
+        sequence number and flip the execution order of exact
+        same-timestamp ties, perturbing golden traces.
+        """
         if self._pacing_timer is not None:
             self._pacing_timer.cancel()
         self._pacing_timer = self.sim.schedule_at(self._next_send_time,
@@ -188,47 +252,53 @@ class Sender:
             seq = self.next_seq
             self.next_seq += 1
             is_retransmit = False
-        packet = Packet(self.flow_id, seq, self.mss, self.sim.now,
-                        delivered_at_send=self.delivered_bytes,
-                        delivered_time_at_send=self.delivered_time,
-                        is_retransmit=is_retransmit)
-        self._unacked[seq] = (self.mss, self.sim.now)
+        now = self.sim.now
+        mss = self.mss
+        pool = self.pool
+        if pool is not None:
+            packet = pool.acquire(self.flow_id, seq, mss, now,
+                                  self.delivered_bytes,
+                                  self.delivered_time, is_retransmit)
+        else:
+            packet = Packet(self.flow_id, seq, mss, now,
+                            delivered_at_send=self.delivered_bytes,
+                            delivered_time_at_send=self.delivered_time,
+                            is_retransmit=is_retransmit)
+        self._unacked[seq] = (mss, now)
         heapq.heappush(self._unacked_heap, seq)
-        self.inflight_bytes += self.mss
+        self.inflight_bytes += mss
         self.sent_packets += 1
-        self.cca.on_send(self.sim.now, seq, self.mss, is_retransmit)
-        self.path.receive(packet, self.sim.now)
+        self.cca.on_send(now, seq, mss, is_retransmit)
+        self.path.receive(packet, now)
 
     # ------------------------------------------------------------------
     # Receiving ACKs
     # ------------------------------------------------------------------
-
-    def receive(self, ack: Ack, now: float) -> None:
-        """Entry point for the reverse path (duck-typed like a sink)."""
-        self.receive_ack(ack, now)
 
     def receive_ack(self, ack: Ack, now: float) -> None:
         rtt = now - ack.rtt_sample_sent_time
         self.latest_rtt = rtt
         if rtt < self.min_rtt:
             self.min_rtt = rtt
-        if self.srtt is None:
-            self.srtt = rtt
-        else:
-            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        srtt = self.srtt
+        self.srtt = rtt if srtt is None else 0.875 * srtt + 0.125 * rtt
 
+        unacked = self._unacked
+        highest = self.highest_acked
         newly_acked = 0
-        for seq in ack.acked_seqs:
-            entry = self._unacked.pop(seq, None)
+        acked_seqs = ack.acked_seqs
+        for seq in acked_seqs:
+            entry = unacked.pop(seq, None)
             if entry is not None:
                 newly_acked += entry[0]
-                self.inflight_bytes -= entry[0]
             elif seq in self._lost_set:
                 # ACK raced a queued retransmission: cancel it.
                 self._lost_set.discard(seq)
                 self._lost.remove(seq)
-            if seq > self.highest_acked:
-                self.highest_acked = seq
+            if seq > highest:
+                highest = seq
+        self.highest_acked = highest
+        self.inflight_bytes -= newly_acked
 
         delivery_rate = None
         interval = now - ack.delivered_time_at_send
@@ -246,13 +316,20 @@ class Sender:
                        min_rtt=self.min_rtt, now=now,
                        delivered_bytes=self.delivered_bytes,
                        delivered_at_send=ack.delivered_at_send,
-                       acked_seqs=ack.acked_seqs,
+                       acked_seqs=acked_seqs,
                        ecn_marked=ack.ecn_marked_count)
+        pool = self.pool
+        if pool is not None:
+            pool.release_ack(ack)
         self.cca.on_ack(info)
         for hook in self.on_ack_hooks:
             hook(self, info)
         self._arm_rto()
         self._try_send()
+
+    #: Entry point for the reverse path (duck-typed like a sink); an
+    #: alias so ACK delivery costs one frame, not two.
+    receive = receive_ack
 
     def _detect_losses(self, now: float, ack_sent_time: float) -> None:
         """Declare unacked packets below the dup-ACK horizon lost.
@@ -262,14 +339,15 @@ class Sender:
         than the packet whose ACK we are processing — otherwise a fresh
         retransmission would be re-declared lost before it could arrive.
         """
-        horizon = self.highest_acked - self.reorder_threshold
-        if horizon < 0:
-            return
         heap = self._unacked_heap
+        horizon = self.highest_acked - self.reorder_threshold
+        if horizon < 0 or not heap or heap[0] > horizon:
+            return
+        unacked = self._unacked
         deferred = []
         while heap and heap[0] <= horizon:
             seq = heapq.heappop(heap)
-            entry = self._unacked.get(seq)
+            entry = unacked.get(seq)
             if entry is None:
                 continue  # stale heap entry (already ACKed)
             size, sent = entry
@@ -277,7 +355,7 @@ class Sender:
                 # A fresh retransmission: not evidence of loss yet.
                 deferred.append(seq)
                 continue
-            del self._unacked[seq]
+            del unacked[seq]
             self.inflight_bytes -= size
             self._lost.append(seq)
             self._lost_set.add(seq)
@@ -312,17 +390,21 @@ class Receiver:
         ack_every: emit one ACK per ``ack_every`` received packets.
         ack_timeout: flush pending ACKs after this long (None = only flush
             by count). Standard delayed-ACK behavior uses e.g. 40 ms.
+        pool: optional shared packet/ACK free list; consumed data
+            packets are recycled into it and ACKs drawn from it.
     """
 
     def __init__(self, sim: Simulator, flow_id: int,
                  ack_every: int = 1,
-                 ack_timeout: Optional[float] = None) -> None:
+                 ack_timeout: Optional[float] = None,
+                 pool: Optional[PacketPool] = None) -> None:
         if ack_every < 1:
             raise ConfigurationError(f"ack_every must be >= 1, got {ack_every}")
         self.sim = sim
         self.flow_id = flow_id
         self.ack_every = ack_every
         self.ack_timeout = ack_timeout
+        self.pool = pool
         self.ack_path: Optional[object] = None
 
         self.received_packets = 0
@@ -337,9 +419,33 @@ class Receiver:
 
     def receive(self, packet: Packet, now: float) -> None:
         self.received_packets += 1
-        if packet.seq not in self._seen:
-            self._seen.add(packet.seq)
+        seq = packet.seq
+        seen = self._seen
+        if seq not in seen:
+            seen.add(seq)
             self.received_bytes += packet.size
+        if self.ack_every == 1 and not self._pending:
+            # Immediate-ACK fast path: one packet, one ACK, no pending
+            # list bookkeeping. Field-for-field identical to _flush on a
+            # single-packet batch.
+            ack_path = self.ack_path
+            if ack_path is None:
+                return
+            pool = self.pool
+            if pool is not None:
+                ack = pool.acquire_ack(
+                    self.flow_id, (seq,), packet.size, seq,
+                    packet.sent_time, packet.delivered_at_send,
+                    packet.delivered_time_at_send, now,
+                    1 if packet.ecn_marked else 0)
+                pool.release(packet)
+            else:
+                ack = Ack(self.flow_id, (seq,), packet.size, seq,
+                          packet.sent_time, packet.delivered_at_send,
+                          packet.delivered_time_at_send, now,
+                          1 if packet.ecn_marked else 0)
+            ack_path.receive(ack, now)
+            return
         self._pending.append(packet)
         if len(self._pending) >= self.ack_every:
             self._flush(now)
@@ -356,19 +462,31 @@ class Receiver:
         if self._flush_timer is not None:
             self._flush_timer.cancel()
             self._flush_timer = None
-        if not self._pending or self.ack_path is None:
+        pending = self._pending
+        if not pending or self.ack_path is None:
             self._pending = []
             return
-        newest = self._pending[-1]
-        ack = Ack(flow_id=self.flow_id,
-                  acked_seqs=tuple(p.seq for p in self._pending),
-                  acked_bytes=sum(p.size for p in self._pending),
-                  rtt_sample_seq=newest.seq,
-                  rtt_sample_sent_time=newest.sent_time,
-                  delivered_at_send=newest.delivered_at_send,
-                  delivered_time_at_send=newest.delivered_time_at_send,
-                  recv_time=now,
-                  ecn_marked_count=sum(
-                      1 for p in self._pending if p.ecn_marked))
+        newest = pending[-1]
+        acked_seqs = tuple(p.seq for p in pending)
+        acked_bytes = sum(p.size for p in pending)
+        ecn_count = sum(1 for p in pending if p.ecn_marked)
+        pool = self.pool
+        if pool is not None:
+            ack = pool.acquire_ack(
+                self.flow_id, acked_seqs, acked_bytes, newest.seq,
+                newest.sent_time, newest.delivered_at_send,
+                newest.delivered_time_at_send, now, ecn_count)
+            for p in pending:
+                pool.release(p)
+        else:
+            ack = Ack(flow_id=self.flow_id,
+                      acked_seqs=acked_seqs,
+                      acked_bytes=acked_bytes,
+                      rtt_sample_seq=newest.seq,
+                      rtt_sample_sent_time=newest.sent_time,
+                      delivered_at_send=newest.delivered_at_send,
+                      delivered_time_at_send=newest.delivered_time_at_send,
+                      recv_time=now,
+                      ecn_marked_count=ecn_count)
         self._pending = []
         self.ack_path.receive(ack, now)

@@ -45,8 +45,12 @@ class JitterElement:
         if eta < 0:
             raise ConfigurationError(
                 f"jitter element produced negative delay {eta}")
-        release = max(now + eta, self._last_release)
-        self.max_applied = max(self.max_applied, release - now)
+        release = now + eta
+        if release < self._last_release:
+            release = self._last_release
+        applied = release - now
+        if applied > self.max_applied:
+            self.max_applied = applied
         self._last_release = release
         self.forwarded += 1
         self.sim.schedule_at(release, self.sink.receive, packet, release)

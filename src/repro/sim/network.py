@@ -16,6 +16,7 @@ from ..errors import ConfigurationError
 from .engine import Simulator
 from .faults import FaultSchedule
 from .host import Receiver, Sender
+from .packet import PacketPool
 from .path import DelayElement, ElementFactory, chain
 from .queue import BottleneckQueue
 from .recorder import FlowRecorder, QueueRecorder
@@ -161,9 +162,14 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
         raise ConfigurationError("scenario needs at least one flow")
     sim = Simulator()
     first_rm = flows[0].rm
+    # One shared free list per scenario: packets cycle sender -> queue
+    # -> receiver -> (as ACKs) -> sender instead of being allocated per
+    # event (the simulation is single-threaded, so sharing is safe).
+    pool = PacketPool()
     queue = BottleneckQueue(sim, link.rate,
                             buffer_bytes=link.resolve_buffer(first_rm),
-                            ecn_threshold_bytes=link.ecn_threshold_bytes)
+                            ecn_threshold_bytes=link.ecn_threshold_bytes,
+                            pool=pool)
     # Shared-bottleneck faults: one element chain seen by every flow.
     queue_entry: object = queue
     if link.fault_schedule is not None:
@@ -173,9 +179,9 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
         cca = config.cca_factory()
         sender = Sender(sim, flow_id, cca, mss=config.mss,
                         start_time=config.start_time,
-                        burst_size=config.burst_size)
+                        burst_size=config.burst_size, pool=pool)
         receiver = Receiver(sim, flow_id, ack_every=config.ack_every,
-                            ack_timeout=config.ack_timeout)
+                            ack_timeout=config.ack_timeout, pool=pool)
         # Reverse path: receiver -> ack elements -> sender.
         ack_entry = chain(sim, config.ack_elements, sender)
         receiver.attach_ack_path(ack_entry)

@@ -16,11 +16,18 @@ from typing import Optional
 
 
 class Packet:
-    """A data packet traversing the forward path."""
+    """A data packet traversing the forward path.
+
+    ``poolable`` marks a packet as owned by a :class:`PacketPool`:
+    the terminal consumer (the receiver, or the queue on a tail drop)
+    recycles it, and path elements that alias a packet — duplication
+    delivers one object twice — clear the flag so the object is never
+    reused while still in flight. Hand-built packets are never pooled.
+    """
 
     __slots__ = ("flow_id", "seq", "size", "sent_time", "is_retransmit",
                  "delivered_at_send", "delivered_time_at_send",
-                 "app_limited", "ecn_marked")
+                 "app_limited", "ecn_marked", "poolable")
 
     def __init__(self, flow_id: int, seq: int, size: int, sent_time: float,
                  delivered_at_send: float = 0.0,
@@ -35,6 +42,7 @@ class Packet:
         self.delivered_time_at_send = delivered_time_at_send
         self.app_limited = False
         self.ecn_marked = False
+        self.poolable = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Packet(flow={self.flow_id}, seq={self.seq}, "
@@ -52,7 +60,7 @@ class Ack:
     __slots__ = ("flow_id", "acked_seqs", "acked_bytes",
                  "rtt_sample_seq", "rtt_sample_sent_time",
                  "delivered_at_send", "delivered_time_at_send",
-                 "recv_time", "ecn_marked_count")
+                 "recv_time", "ecn_marked_count", "poolable")
 
     def __init__(self, flow_id: int, acked_seqs: tuple,
                  acked_bytes: int, rtt_sample_seq: int,
@@ -70,6 +78,7 @@ class Ack:
         self.delivered_time_at_send = delivered_time_at_send
         self.recv_time = recv_time
         self.ecn_marked_count = ecn_marked_count
+        self.poolable = False
 
     @property
     def seq(self) -> int:
@@ -88,6 +97,90 @@ class Ack:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Ack(flow={self.flow_id}, seqs={self.acked_seqs}, "
                 f"bytes={self.acked_bytes})")
+
+
+class PacketPool:
+    """Bounded free lists of :class:`Packet` and :class:`Ack` objects.
+
+    A long run creates one packet and one ACK per delivered MSS — with
+    pooling, the same few dozen objects cycle sender -> queue ->
+    receiver -> (as an ACK) -> sender. Ownership rules:
+
+    * only the pool sets ``poolable`` — hand-built objects never
+      recycle;
+    * :meth:`release` / :meth:`release_ack` are idempotent (the flag is
+      cleared on release, so double release is a no-op);
+    * an element that aliases a packet (delivers the same object more
+      than once) must clear ``poolable`` before the first delivery.
+    """
+
+    __slots__ = ("_packets", "_acks", "max_size")
+
+    def __init__(self, max_size: int = 1024) -> None:
+        self._packets: list = []
+        self._acks: list = []
+        self.max_size = max_size
+
+    def acquire(self, flow_id: int, seq: int, size: int,
+                sent_time: float, delivered_at_send: float = 0.0,
+                delivered_time_at_send: float = 0.0,
+                is_retransmit: bool = False) -> Packet:
+        free = self._packets
+        if free:
+            packet = free.pop()
+            packet.flow_id = flow_id
+            packet.seq = seq
+            packet.size = size
+            packet.sent_time = sent_time
+            packet.is_retransmit = is_retransmit
+            packet.delivered_at_send = delivered_at_send
+            packet.delivered_time_at_send = delivered_time_at_send
+            packet.app_limited = False
+            packet.ecn_marked = False
+        else:
+            packet = Packet(flow_id, seq, size, sent_time,
+                            delivered_at_send, delivered_time_at_send,
+                            is_retransmit)
+        packet.poolable = True
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        if packet.poolable:
+            packet.poolable = False
+            if len(self._packets) < self.max_size:
+                self._packets.append(packet)
+
+    def acquire_ack(self, flow_id: int, acked_seqs: tuple,
+                    acked_bytes: int, rtt_sample_seq: int,
+                    rtt_sample_sent_time: float,
+                    delivered_at_send: float,
+                    delivered_time_at_send: float,
+                    recv_time: float, ecn_marked_count: int = 0) -> Ack:
+        free = self._acks
+        if free:
+            ack = free.pop()
+            ack.flow_id = flow_id
+            ack.acked_seqs = acked_seqs
+            ack.acked_bytes = acked_bytes
+            ack.rtt_sample_seq = rtt_sample_seq
+            ack.rtt_sample_sent_time = rtt_sample_sent_time
+            ack.delivered_at_send = delivered_at_send
+            ack.delivered_time_at_send = delivered_time_at_send
+            ack.recv_time = recv_time
+            ack.ecn_marked_count = ecn_marked_count
+        else:
+            ack = Ack(flow_id, acked_seqs, acked_bytes, rtt_sample_seq,
+                      rtt_sample_sent_time, delivered_at_send,
+                      delivered_time_at_send, recv_time,
+                      ecn_marked_count)
+        ack.poolable = True
+        return ack
+
+    def release_ack(self, ack: Ack) -> None:
+        if ack.poolable:
+            ack.poolable = False
+            if len(self._acks) < self.max_size:
+                self._acks.append(ack)
 
 
 class AckInfo:

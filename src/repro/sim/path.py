@@ -28,11 +28,13 @@ class DelayElement:
 
     def receive(self, packet: object, now: float) -> None:
         self.forwarded += 1
-        if self.delay == 0:
+        delay = self.delay
+        if delay == 0:
             self.sink.receive(packet, now)
         else:
-            self.sim.schedule(self.delay, self.sink.receive, packet,
-                              self.sim.now + self.delay)
+            sim = self.sim
+            release = sim.now + delay
+            sim.schedule_at(release, self.sink.receive, packet, release)
 
 
 class TapElement:

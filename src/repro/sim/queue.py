@@ -15,7 +15,7 @@ from typing import Callable, Deque, Dict, Optional
 
 from ..errors import ConfigurationError
 from .engine import Simulator
-from .packet import Packet
+from .packet import Packet, PacketPool
 
 
 class BottleneckQueue:
@@ -37,7 +37,8 @@ class BottleneckQueue:
     def __init__(self, sim: Simulator, rate: float,
                  buffer_bytes: Optional[float] = None,
                  on_drop: Optional[Callable[[Packet, float], None]] = None,
-                 ecn_threshold_bytes: Optional[float] = None) -> None:
+                 ecn_threshold_bytes: Optional[float] = None,
+                 pool: Optional[PacketPool] = None) -> None:
         if rate <= 0:
             raise ConfigurationError(f"bottleneck rate must be > 0, got {rate}")
         if buffer_bytes is not None and buffer_bytes <= 0:
@@ -51,6 +52,9 @@ class BottleneckQueue:
         # an unambiguous congestion signal (unlike delay and loss).
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self.ecn_marks = 0
+        # Recycle tail-dropped packets (only when nobody else observes
+        # them via on_drop).
+        self.pool = pool
         self._sinks: Dict[int, object] = {}
         self._queue: Deque[Packet] = deque()
         self._queued_bytes: float = 0.0
@@ -90,6 +94,8 @@ class BottleneckQueue:
             self.dropped_bytes += packet.size
             if self.on_drop is not None:
                 self.on_drop(packet, now)
+            elif self.pool is not None:
+                self.pool.release(packet)
             return
         self._queue.append(packet)
         self._queued_bytes += packet.size
@@ -108,16 +114,24 @@ class BottleneckQueue:
         packet = self._in_service
         assert packet is not None
         self._in_service = None
+        size = packet.size
         if (self.ecn_threshold_bytes is not None
                 and self._queued_bytes > self.ecn_threshold_bytes):
             packet.ecn_marked = True
             self.ecn_marks += 1
         self.forwarded += 1
-        self.forwarded_bytes += packet.size
+        self.forwarded_bytes += size
         sink = self._sinks.get(packet.flow_id)
         if sink is not None:
             sink.receive(packet, self.sim.now)
-        if self._queue:
-            self._start_service()
+        # Inline the next _start_service: this dequeue-forward-rearm
+        # sequence runs once per packet and the extra call was visible
+        # in profiles.
+        queue = self._queue
+        if queue:
+            nxt = queue.popleft()
+            self._queued_bytes -= nxt.size
+            self._in_service = nxt
+            self.sim.schedule(nxt.size / self.rate, self._finish_service)
         else:
             self._busy = False

@@ -1,18 +1,26 @@
 """Time-series recording for flows and queues.
 
 Recorders attach to senders (via the ``on_ack_hooks`` list) and to the
-simulator clock (periodic sampling) and accumulate plain Python lists, so
-downstream analysis can turn them into numpy arrays when needed.
+simulator clock (periodic sampling) and accumulate compact
+``array('d')`` buffers (8 bytes per sample instead of a boxed float
+per entry), so downstream analysis can turn them into numpy arrays
+zero-copy when needed. The buffers behave like read-only sequences of
+floats; ``pacing_values`` stores NaN where the CCA reports no pacing
+rate (the old ``None`` entries).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Tuple
 
 from .engine import Simulator
 from .host import Receiver, Sender
 from .packet import AckInfo
 from .queue import BottleneckQueue
+
+_NAN = float("nan")
 
 
 class FlowRecorder:
@@ -22,24 +30,25 @@ class FlowRecorder:
         rtt_times / rtt_values: one entry per ACK processed.
         sample_times / cwnd_values / pacing_values / delivered_values /
             received_values: one entry per ``sample_interval``
-            (``received_values`` stays empty without a receiver).
+            (``received_values`` stays empty without a receiver;
+            ``pacing_values`` holds NaN where the CCA is unpaced).
     """
 
     def __init__(self, sim: Simulator, sender: Sender,
                  sample_interval: float = 0.05,
-                 receiver: Optional[Receiver] = None) -> None:
+                 receiver: Receiver = None) -> None:
         self.sim = sim
         self.sender = sender
         self.receiver = receiver
         self.sample_interval = sample_interval
 
-        self.rtt_times: List[float] = []
-        self.rtt_values: List[float] = []
-        self.sample_times: List[float] = []
-        self.cwnd_values: List[float] = []
-        self.pacing_values: List[Optional[float]] = []
-        self.delivered_values: List[float] = []
-        self.received_values: List[float] = []
+        self.rtt_times = array("d")
+        self.rtt_values = array("d")
+        self.sample_times = array("d")
+        self.cwnd_values = array("d")
+        self.pacing_values = array("d")
+        self.delivered_values = array("d")
+        self.received_values = array("d")
 
         sender.on_ack_hooks.append(self._on_ack)
         sim.schedule(sample_interval, self._sample)
@@ -49,10 +58,13 @@ class FlowRecorder:
         self.rtt_values.append(info.rtt)
 
     def _sample(self) -> None:
+        sender = self.sender
+        cca = sender.cca
         self.sample_times.append(self.sim.now)
-        self.cwnd_values.append(self.sender.cca.cwnd_bytes)
-        self.pacing_values.append(self.sender.cca.pacing_rate)
-        self.delivered_values.append(self.sender.delivered_bytes)
+        self.cwnd_values.append(cca.cwnd_bytes)
+        pacing = cca.pacing_rate
+        self.pacing_values.append(_NAN if pacing is None else pacing)
+        self.delivered_values.append(sender.delivered_bytes)
         if self.receiver is not None:
             self.received_values.append(self.receiver.received_bytes)
         self.sim.schedule(self.sample_interval, self._sample)
@@ -73,15 +85,14 @@ class FlowRecorder:
         """
         return self._rate_between(self.received_values, t0, t1)
 
-    def _rate_between(self, values: List[float], t0: float,
-                      t1: float) -> float:
+    def _rate_between(self, values, t0: float, t1: float) -> float:
         if not self.sample_times or not values or t1 <= t0:
             return 0.0
         d0 = self._value_at(values, t0)
         d1 = self._value_at(values, t1)
         return max(0.0, (d1 - d0) / (t1 - t0))
 
-    def _value_at(self, values: List[float], t: float) -> float:
+    def _value_at(self, values, t: float) -> float:
         # Binary search over sorted sample times.
         times = self.sample_times
         lo, hi = 0, min(len(times), len(values))
@@ -95,13 +106,29 @@ class FlowRecorder:
             return 0.0
         return values[lo - 1]
 
+    def rtt_window_stats(self, t0: float, t1: float
+                         ) -> Tuple[float, float, float]:
+        """(mean, min, max) of RTT samples with ``t0 <= time <= t1``.
+
+        Returns NaNs when the window holds no samples. ACK times are
+        nondecreasing, so the window is one contiguous slice.
+        """
+        times = self.rtt_times
+        start = bisect_left(times, t0)
+        end = bisect_right(times, t1)
+        window = self.rtt_values[start:end]
+        if not window:
+            return (_NAN, _NAN, _NAN)
+        return (sum(window) / len(window), min(window), max(window))
+
     def rtt_range_after(self, t0: float) -> Tuple[float, float]:
         """(min, max) of RTT samples observed at times >= t0."""
-        values = [v for t, v in zip(self.rtt_times, self.rtt_values)
-                  if t >= t0]
-        if not values:
-            return (float("nan"), float("nan"))
-        return (min(values), max(values))
+        # ACK times are nondecreasing, so the window is a suffix.
+        start = bisect_left(self.rtt_times, t0)
+        if start >= len(self.rtt_values):
+            return (_NAN, _NAN)
+        window = self.rtt_values[start:]
+        return (min(window), max(window))
 
 
 class QueueRecorder:
@@ -112,8 +139,8 @@ class QueueRecorder:
         self.sim = sim
         self.queue = queue
         self.sample_interval = sample_interval
-        self.sample_times: List[float] = []
-        self.backlog_values: List[float] = []
+        self.sample_times = array("d")
+        self.backlog_values = array("d")
         sim.schedule(sample_interval, self._sample)
 
     def _sample(self) -> None:

@@ -82,15 +82,8 @@ def summarize(scenario: Scenario, duration: float,
     total = 0.0
     for flow in scenario.flows:
         throughput = flow.recorder.throughput_between(warmup, duration)
-        window_rtts = [v for t, v in zip(flow.recorder.rtt_times,
-                                         flow.recorder.rtt_values)
-                       if warmup <= t <= duration]
-        if window_rtts:
-            mean_rtt = sum(window_rtts) / len(window_rtts)
-            min_rtt = min(window_rtts)
-            max_rtt = max(window_rtts)
-        else:
-            mean_rtt = min_rtt = max_rtt = float("nan")
+        mean_rtt, min_rtt, max_rtt = flow.recorder.rtt_window_stats(
+            warmup, duration)
         # Goodput over the same [warmup, duration] window as throughput;
         # recorders without receiver samples (hand-built scenarios) fall
         # back to the whole-run average.

@@ -136,6 +136,29 @@ def test_run_all_event_budget_kind(sim):
     assert excinfo.value.kind == "events"
 
 
+def test_wall_clock_check_counts_cancelled_pops(sim):
+    """Cancelled pops must advance the watchdog cadence.
+
+    The wall-clock check runs every _WALL_CHECK_INTERVAL heap pops. If
+    only *executed* events counted, a burst of cancellations (pacing
+    timer churn produces exactly that) could starve the check and let a
+    run blow far past its budget before the first look at the clock.
+    """
+    from repro.errors import BudgetExceededError
+    from repro.sim.engine import _WALL_CHECK_INTERVAL
+
+    for event in [sim.schedule(0.1, lambda: None)
+                  for _ in range(2 * _WALL_CHECK_INTERVAL)]:
+        event.cancel()
+    sim.schedule(0.2, lambda: None)
+    # A zero budget is exceeded at the very first check; with fewer
+    # executed events than the interval, that check only happens if
+    # cancelled pops count toward the cadence.
+    with pytest.raises(BudgetExceededError) as excinfo:
+        sim.run(1.0, wall_clock_budget=0.0)
+    assert excinfo.value.kind == "wall_clock"
+
+
 def test_run_all_wall_clock_budget_unset_by_default(sim):
     for i in range(5):
         sim.schedule(0.1 * (i + 1), lambda: None)

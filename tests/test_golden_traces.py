@@ -1,0 +1,39 @@
+"""Golden-trace determinism guard.
+
+``tests/golden_traces.json`` holds content digests of per-flow traces,
+summaries, a mini sweep curve, and its cache keys, captured *before*
+the hot-path optimization work. This test replays the whole battery and
+asserts every digest still matches — i.e. pooling, loop fusion, and the
+recorder rewrite are bit-invisible, not just statistically close.
+
+Regenerate the reference only for a deliberate semantic change::
+
+    PYTHONPATH=src python -m repro.perf.golden --write tests/golden_traces.json
+"""
+
+import json
+from pathlib import Path
+
+from repro.perf import golden
+
+GOLDEN_PATH = Path(__file__).parent / "golden_traces.json"
+
+
+def test_golden_file_is_committed():
+    assert GOLDEN_PATH.exists(), (
+        "tests/golden_traces.json is missing; regenerate it with "
+        "python -m repro.perf.golden --write")
+
+
+def test_golden_schema_version():
+    reference = json.loads(GOLDEN_PATH.read_text())
+    assert reference["schema"] == golden.GOLDEN_SCHEMA_VERSION
+
+
+def test_traces_match_committed_golden():
+    reference = json.loads(GOLDEN_PATH.read_text())
+    current = golden.capture_all()
+    problems = golden.compare(current, reference)
+    assert not problems, (
+        "simulation output diverged from the committed golden traces "
+        "(optimizations must be bit-invisible):\n" + "\n".join(problems))

@@ -1,0 +1,157 @@
+"""Tests for the Event and Packet/Ack free-list pools.
+
+The pools exist purely as an allocation optimization, so the contract
+under test is *invisibility*: recycling must never let a stale handle
+fire a recycled callback, deliver a stale packet, or change any
+observable counter.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.faults import DuplicateElement
+from repro.sim.packet import Ack, Packet, PacketPool
+
+
+class TestEventPool:
+    def test_cancelled_event_is_recycled_without_firing(self, sim):
+        fired = []
+        stale = sim.schedule(0.1, fired.append, "old")
+        stale.cancel()
+        sim.run(0.2)  # pops the cancelled entry, recycles the object
+        fresh = sim.schedule(0.1, fired.append, "new")
+        # The pool handed the same object back for the new schedule...
+        assert fresh is stale
+        sim.run(1.0)
+        # ...and only the new callback fires, exactly once.
+        assert fired == ["new"]
+
+    def test_recycled_event_drops_callback_reference(self, sim):
+        payload = []
+        event = sim.schedule(0.1, payload.append, "x")
+        event.cancel()
+        sim.run(0.2)
+        # Recycling clears the closure so pooled events cannot keep
+        # arbitrary object graphs alive between uses.
+        assert event.callback is None
+        assert event.args == ()
+
+    def test_cancelling_reused_event_only_affects_current_use(self, sim):
+        fired = []
+        first = sim.schedule(0.1, fired.append, "a")
+        sim.run(0.2)  # "a" fires; its Event object returns to the pool
+        second = sim.schedule(0.1, fired.append, "b")
+        assert second is first  # same recycled object
+        second.cancel()
+        sim.schedule(0.2, fired.append, "c")
+        sim.run(1.0)
+        # The cancel suppressed "b" only — it neither re-fired "a" nor
+        # leaked into the later, unrelated "c".
+        assert fired == ["a", "c"]
+
+    def test_pool_reuses_one_object_across_run_calls(self, sim):
+        identities = set()
+        for i in range(5):
+            event = sim.schedule(0.1, lambda: None)
+            identities.add(id(event))
+            sim.run(0.2 * (i + 1))
+        assert len(identities) == 1
+        assert sim.events_processed == 5
+
+    def test_events_processed_excludes_cancelled(self, sim):
+        for i in range(4):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        doomed = [sim.schedule(0.05 * (i + 1), lambda: None)
+                  for i in range(6)]
+        for event in doomed:
+            event.cancel()
+        sim.run_all()
+        assert sim.events_processed == 4
+
+    def test_budgeted_run_recycles_like_fast_path(self):
+        sim = Simulator()
+        fired = []
+        stale = sim.schedule(0.1, fired.append, "old")
+        stale.cancel()
+        sim.run(0.2, max_events=100)  # budgeted loop, same pool rules
+        fresh = sim.schedule(0.1, fired.append, "new")
+        assert fresh is stale
+        sim.run(1.0, max_events=100)
+        assert fired == ["new"]
+        assert sim.events_processed == 1
+
+
+class TestPacketPool:
+    def test_acquire_resets_every_field(self):
+        pool = PacketPool()
+        first = pool.acquire(1, 7, 1500, 2.0, delivered_at_send=9.0,
+                             delivered_time_at_send=1.5,
+                             is_retransmit=True)
+        first.app_limited = True
+        first.ecn_marked = True
+        pool.release(first)
+        second = pool.acquire(2, 8, 1000, 3.0)
+        assert second is first
+        assert (second.flow_id, second.seq, second.size,
+                second.sent_time) == (2, 8, 1000, 3.0)
+        assert second.delivered_at_send == 0.0
+        assert second.delivered_time_at_send == 0.0
+        assert not second.is_retransmit
+        assert not second.app_limited
+        assert not second.ecn_marked
+        assert second.poolable
+
+    def test_release_is_idempotent(self):
+        pool = PacketPool()
+        packet = pool.acquire(0, 0, 1500, 0.0)
+        pool.release(packet)
+        pool.release(packet)  # stale double release must not duplicate
+        one = pool.acquire(0, 1, 1500, 0.0)
+        two = pool.acquire(0, 2, 1500, 0.0)
+        assert one is packet
+        assert two is not packet
+
+    def test_hand_built_packets_are_never_pooled(self):
+        pool = PacketPool()
+        packet = Packet(0, 0, 1500, 0.0)
+        pool.release(packet)  # not pool-owned: ignored
+        assert pool.acquire(0, 1, 1500, 0.0) is not packet
+
+    def test_ack_round_trip_and_idempotent_release(self):
+        pool = PacketPool()
+        ack = pool.acquire_ack(0, (1, 2), 3000, 2, 0.5, 0.0, 0.0, 1.0,
+                               ecn_marked_count=1)
+        pool.release_ack(ack)
+        pool.release_ack(ack)
+        again = pool.acquire_ack(1, (3,), 1500, 3, 0.6, 0.0, 0.0, 1.1)
+        assert again is ack
+        assert again.acked_seqs == (3,)
+        assert again.ecn_marked_count == 0
+        assert pool.acquire_ack(0, (4,), 1500, 4, 0.7, 0.0, 0.0,
+                                1.2) is not ack
+
+    def test_hand_built_acks_are_never_pooled(self):
+        pool = PacketPool()
+        ack = Ack(0, (1,), 1500, 1, 0.0, 0.0, 0.0, 0.5)
+        pool.release_ack(ack)
+        assert pool.acquire_ack(0, (2,), 1500, 2, 0.0, 0.0, 0.0,
+                                0.6) is not ack
+
+    def test_pool_is_bounded(self):
+        pool = PacketPool(max_size=2)
+        packets = [pool.acquire(0, i, 1500, 0.0) for i in range(5)]
+        for packet in packets:
+            pool.release(packet)
+        assert len(pool._packets) == 2
+
+    def test_duplicate_element_unpools_aliased_packets(self, sim, spy):
+        pool = PacketPool()
+        dup = DuplicateElement(sim, spy, dup_prob=1.0, seed=1)
+        packet = pool.acquire(0, 0, 1500, 0.0)
+        dup.receive(packet, 0.0)
+        # Both deliveries alias one object; the element must have
+        # un-pooled it so a release between deliveries is a no-op.
+        assert [p is packet for p in spy.packets] == [True, True]
+        assert not packet.poolable
+        pool.release(packet)
+        assert pool.acquire(0, 1, 1500, 0.0) is not packet

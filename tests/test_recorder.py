@@ -34,7 +34,7 @@ class TestFlowRecorder:
         assert len(recorder.rtt_times) == len(recorder.rtt_values)
         assert len(recorder.rtt_values) > 100
         assert all(v >= units.ms(40) for v in recorder.rtt_values)
-        assert recorder.rtt_times == sorted(recorder.rtt_times)
+        assert list(recorder.rtt_times) == sorted(recorder.rtt_times)
 
     def test_periodic_samples_aligned(self, recorder):
         n = len(recorder.sample_times)
@@ -144,8 +144,8 @@ class TestTraceStoreRoundTrip:
         # And a fresh live run of the same seeded spec agrees exactly —
         # the cache is indistinguishable from simulating.
         live = _live_trace(params)
-        assert fetched.result["rtt_values"] == live.rtt_values
-        assert fetched.result["sample_times"] == live.sample_times
-        assert fetched.result["cwnd_values"] == live.cwnd_values
+        assert fetched.result["rtt_values"] == list(live.rtt_values)
+        assert fetched.result["sample_times"] == list(live.sample_times)
+        assert fetched.result["cwnd_values"] == list(live.cwnd_values)
         assert fetched.result["delivered_values"] == \
-            live.delivered_values
+            list(live.delivered_values)
