@@ -2,6 +2,7 @@
 
 from .backends import (PointOutcome, ProcessPoolBackend, SerialBackend,
                        execute_point, make_backend)
+from .diagnostics import (load_bundle, replay_bundle, write_crash_bundle)
 from .harness import (ResilientSweep, RunBudget, RunFailure, SweepOutcome,
                       describe_failures, run_with_retry)
 from .metrics import (loss_rate, mean_rtt_ms, queueing_delay_ms,
@@ -17,7 +18,8 @@ __all__ = [
     "RateDelayPoint", "ResilientSweep", "RunBudget", "RunFailure",
     "SerialBackend", "SweepOutcome", "comparison_line",
     "describe_failures", "describe_run", "execute_point", "flow_table",
-    "format_table", "log_rate_grid", "loss_rate", "make_backend",
+    "format_table", "load_bundle", "log_rate_grid", "loss_rate",
+    "make_backend", "replay_bundle", "write_crash_bundle",
     "mean_rtt_ms", "queueing_delay_ms", "rate_delay_ascii",
     "export_run_tsv", "flow_arrays", "queue_arrays", "run_with_retry",
     "summarize_run", "sweep_rate_delay", "throughputs_mbps",

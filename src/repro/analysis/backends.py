@@ -17,8 +17,20 @@ the points execute:
 Both backends funnel each point through :func:`execute_point`, which
 owns the retry/back-off and failure-wrapping semantics, so a divergent
 point degrades to a :class:`RunFailure` identically on every backend.
-Non-recoverable exceptions (programming errors) propagate from workers
-to the caller.
+Unexpected non-recoverable exceptions (programming errors) are wrapped
+as ``RunFailure(kind="internal")`` — with a crash bundle when a crash
+directory is configured — instead of aborting the sweep; only
+``KeyboardInterrupt``/``SystemExit`` stay fatal.
+
+:class:`ProcessPoolBackend` additionally self-heals around worker
+death: a killed worker (``os._exit``, segfault, OOM kill) breaks the
+stdlib pool, so the backend respawns it, resubmits the unfinished
+points, and quarantines any point implicated in ``max_point_attempts``
+consecutive pool breaks as ``RunFailure(kind="worker_lost")``. A
+parent-side stall watchdog (``point_timeout``) terminates hung workers
+the in-worker budgets cannot reach, recording ``kind="timeout"``; and
+if a replacement pool cannot even be built, the remaining points
+degrade to in-process serial execution rather than being dropped.
 
 ``execute_point`` is also the single cache crossing: given a
 :class:`~repro.store.ResultStore` it looks the point's content address
@@ -34,7 +46,8 @@ import multiprocessing
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                CancelledError, ProcessPoolExecutor, wait)
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Iterable, Iterator, Optional,
                     Sequence, Tuple)
@@ -73,7 +86,8 @@ def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
                   budget: RunBudget,
                   store: Optional[ResultStore] = None,
                   refresh: bool = False,
-                  backend_name: str = "serial") -> PointOutcome:
+                  backend_name: str = "serial",
+                  crash_dir: Optional[str] = None) -> PointOutcome:
     """Run one grid point with retries; wrap recoverable failures.
 
     This is the single execution path shared by every backend (it is a
@@ -86,6 +100,15 @@ def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
     failures never poison the store (they are recorded as ``fail``
     catalog events instead). ``refresh`` forces recomputation and
     overwrites the entry (``--force``).
+
+    Failure semantics: recoverable exceptions (budget blowouts,
+    simulation errors, invariant violations) become
+    ``RunFailure(kind="error")``; anything else except
+    ``KeyboardInterrupt``/``SystemExit`` becomes
+    ``RunFailure(kind="internal")`` so one buggy point cannot abort a
+    sweep. With a ``crash_dir``, every failure also captures a
+    reproducible crash bundle (see :mod:`repro.analysis.diagnostics`)
+    whose path is attached to the failure record.
     """
     start = time.monotonic()
     ckey: Optional[str] = None
@@ -110,21 +133,39 @@ def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
         attempts += 1
         return run_point(params, budget)
 
-    try:
-        result = run_with_retry(attempt, budget)
-    except RECOVERABLE as exc:
+    def fail(exc: BaseException, kind: str) -> PointOutcome:
+        elapsed = time.monotonic() - start
+        bundle: Optional[str] = None
+        if crash_dir is not None:
+            from .diagnostics import write_crash_bundle
+            bundle = write_crash_bundle(
+                crash_dir, key=key, params=params, exc=exc,
+                task=task_name(run_point), attempts=max(attempts, 1),
+                elapsed=elapsed, budget=budget, backend=backend_name)
         failure = RunFailure(
             key=key, reason=type(exc).__name__,
-            message=_first_line(exc), attempts=attempts,
-            elapsed=time.monotonic() - start, params=params)
+            message=_first_line(exc), attempts=max(attempts, 1),
+            elapsed=elapsed, params=params, kind=kind, bundle=bundle)
         if store is not None and ckey is not None:
             store.catalog.record(ckey, "fail",
                                  task=task_name(run_point),
                                  backend=backend_name,
-                                 wall_s=time.monotonic() - start,
+                                 wall_s=elapsed,
                                  summary=summarize_params(params))
         return PointOutcome(key=key, params=params, failure=failure,
                             cache_key=ckey)
+
+    try:
+        result = run_with_retry(attempt, budget)
+    except RECOVERABLE as exc:
+        return fail(exc, "error")
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        # A programming error in the experiment script: degrade to a
+        # structured failure (with a bundle carrying the traceback)
+        # instead of killing the whole sweep from inside a worker.
+        return fail(exc, "internal")
     if store is not None and ckey is not None:
         store.put(ckey, result, meta={"point": key},
                   task=task_name(run_point))
@@ -145,13 +186,15 @@ class SerialBackend:
                 budget: RunBudget,
                 on_start: Optional[Callable[[str], None]] = None,
                 store: Optional[ResultStore] = None,
-                refresh: bool = False) -> Iterator[PointOutcome]:
+                refresh: bool = False,
+                crash_dir: Optional[str] = None) -> Iterator[PointOutcome]:
         for key, params in points:
             if on_start is not None:
                 on_start(key)
             yield execute_point(run_point, key, params, budget,
                                 store=store, refresh=refresh,
-                                backend_name="serial")
+                                backend_name="serial",
+                                crash_dir=crash_dir)
 
     def __repr__(self) -> str:
         return "SerialBackend()"
@@ -159,7 +202,9 @@ class SerialBackend:
 
 def _execute_chunk(run_point: RunPoint, chunk: Sequence[Point],
                    budget: RunBudget, store: Optional[ResultStore],
-                   refresh: bool) -> "list[PointOutcome]":
+                   refresh: bool,
+                   crash_dir: Optional[str] = None
+                   ) -> "list[PointOutcome]":
     """Worker body for chunked submission.
 
     The chunk's points run serially inside one pool task (each still
@@ -168,12 +213,25 @@ def _execute_chunk(run_point: RunPoint, chunk: Sequence[Point],
     instead of one, which matters for sweeps of many short points.
     """
     return [execute_point(run_point, key, params, budget, store=store,
-                          refresh=refresh, backend_name="process-pool")
+                          refresh=refresh, backend_name="process-pool",
+                          crash_dir=crash_dir)
             for key, params in chunk]
 
 
+class _ChunkState:
+    """Book-keeping for one submitted chunk of the self-healing pool."""
+
+    __slots__ = ("points", "attempts", "first_submit", "started")
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        self.points = list(points)
+        self.attempts = 0
+        self.first_submit: Optional[float] = None
+        self.started = False  # on_start already fired for these keys
+
+
 class ProcessPoolBackend:
-    """Fan points out over a spawn-based process pool.
+    """Fan points out over a self-healing, spawn-based process pool.
 
     Args:
         jobs: worker count (default: the machine's CPU count).
@@ -182,6 +240,34 @@ class ProcessPoolBackend:
             short points; outcomes still arrive per point, so
             checkpoints and curves are identical to ``chunksize=1``
             (and to :class:`SerialBackend`).
+        point_timeout: parent-side wall seconds allowed per point (a
+            chunk gets ``point_timeout * len(chunk)``). This is the
+            backstop for hangs the in-worker engine watchdog cannot
+            reach (a callback blocked in C code, a deadlocked worker):
+            when no chunk completes within the current stall window the
+            hung workers are terminated and their chunks retried or
+            quarantined as ``RunFailure(kind="timeout")``. ``None``
+            (default) derives the window from ``budget.wall_clock``
+            across its retries plus slack — or disables stall detection
+            when the budget carries no wall limit.
+        max_point_attempts: submissions allowed per chunk before its
+            points are quarantined (default 3). A chunk's attempt count
+            rises each time it is implicated in a broken or stalled
+            pool; its *last* attempt runs in an isolated single-worker
+            pool, so an innocent chunk repeatedly co-pending with a
+            worker-killer is exonerated before quarantine and only the
+            true culprit is recorded as
+            ``RunFailure(kind="worker_lost")``.
+
+    Self-healing: a worker death (``os._exit``, segfault, OOM kill)
+    breaks the stdlib executor for good, so the backend terminates the
+    carcass, respawns a fresh pool, and resubmits every unfinished
+    chunk — the sweep completes with per-point failure records instead
+    of aborting. If a replacement pool cannot even be constructed, the
+    remaining chunks degrade to in-process serial execution (isolated
+    suspects excluded — re-running a suspected worker-killer in the
+    parent could take the whole sweep down with it; they are
+    quarantined instead).
 
     Requirements (enforced eagerly with clear errors):
 
@@ -197,45 +283,232 @@ class ProcessPoolBackend:
     execution order — which root-seed derivation guarantees.
     """
 
+    #: Slack added to budget-derived stall windows: spawn start-up,
+    #: result pickling, and scheduling jitter all bill to the window.
+    _STALL_SLACK = 30.0
+
     def __init__(self, jobs: Optional[int] = None,
-                 chunksize: int = 1) -> None:
+                 chunksize: int = 1,
+                 point_timeout: Optional[float] = None,
+                 max_point_attempts: int = 3) -> None:
         if jobs is not None and jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         if chunksize < 1:
             raise ConfigurationError(
                 f"chunksize must be >= 1, got {chunksize}")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ConfigurationError(
+                f"point_timeout must be > 0, got {point_timeout}")
+        if max_point_attempts < 1:
+            raise ConfigurationError(
+                f"max_point_attempts must be >= 1, got "
+                f"{max_point_attempts}")
         self.jobs = jobs or os.cpu_count() or 1
         self.chunksize = chunksize
+        self.point_timeout = point_timeout
+        self.max_point_attempts = max_point_attempts
+        #: Telemetry for tests/logs: pools respawned, workers lost.
+        self.respawns = 0
+
+    # ------------------------------------------------------------------
+    # Stall window
+    # ------------------------------------------------------------------
+
+    def _stall_window(self, budget: RunBudget,
+                      chunk_len: int) -> Optional[float]:
+        """Wall seconds a chunk may run before it counts as hung."""
+        if self.point_timeout is not None:
+            return self.point_timeout * chunk_len
+        if budget.wall_clock is None:
+            return None
+        # The worker retries internally with back-off, so its
+        # legitimate wall time is the sum of the scaled budgets.
+        per_point = sum(budget.wall_clock * budget.backoff ** attempt
+                        for attempt in range(budget.retries + 1))
+        return per_point * chunk_len + self._STALL_SLACK
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Kill worker processes and discard the executor.
+
+        Used when the pool is broken or hung: a graceful shutdown would
+        join workers that will never return.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _quarantine(self, state: _ChunkState, kind: str,
+                    detail: str) -> "list[PointOutcome]":
+        reason = ("WorkerLost" if kind == "worker_lost"
+                  else "PointTimeout")
+        elapsed = 0.0
+        if state.first_submit is not None:
+            elapsed = time.monotonic() - state.first_submit
+        outcomes = []
+        for key, params in state.points:
+            outcomes.append(PointOutcome(
+                key=key, params=params,
+                failure=RunFailure(
+                    key=key, reason=reason, message=detail,
+                    attempts=state.attempts, elapsed=elapsed,
+                    params=params, kind=kind)))
+        return outcomes
 
     def execute(self, run_point: RunPoint, points: Sequence[Point],
                 budget: RunBudget,
                 on_start: Optional[Callable[[str], None]] = None,
                 store: Optional[ResultStore] = None,
-                refresh: bool = False) -> Iterator[PointOutcome]:
+                refresh: bool = False,
+                crash_dir: Optional[str] = None) -> Iterator[PointOutcome]:
         points = list(points)
         if not points:
             return
         self._check_picklable(run_point, points)
         context = multiprocessing.get_context("spawn")
         size = self.chunksize
-        chunks = [points[i:i + size] for i in range(0, len(points), size)]
-        workers = min(self.jobs, len(chunks))
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            futures = []
-            for chunk in chunks:
-                if on_start is not None:
-                    for key, _ in chunk:
-                        on_start(key)
-                # The store travels to the worker (it is plain paths +
-                # a fingerprint), so lookups and puts happen where the
-                # simulation would run — all processes share one cache.
-                futures.append(pool.submit(
-                    _execute_chunk, run_point, chunk, budget, store,
-                    refresh))
-            for future in as_completed(futures):
-                for outcome in future.result():
-                    yield outcome
+        queue: "list[_ChunkState]" = [
+            _ChunkState(points[i:i + size])
+            for i in range(0, len(points), size)]
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while queue:
+                # Last-chance chunks run alone in a single-worker pool
+                # for exact blame: a pool break with one chunk in
+                # flight can only be that chunk's doing.
+                isolated = [s for s in queue
+                            if s.attempts >= self.max_point_attempts - 1]
+                batch = isolated[:1] if isolated else queue
+                workers = 1 if isolated else min(self.jobs, len(batch))
+                try:
+                    pool = ProcessPoolExecutor(max_workers=workers,
+                                               mp_context=context)
+                except Exception:
+                    # Can't build a pool at all (fd/process exhaustion):
+                    # degrade to in-process serial execution, skipping
+                    # suspects (re-running a worker-killer in the
+                    # parent could kill the sweep itself).
+                    pool = None
+                    for state in queue:
+                        if state.attempts > 0:
+                            for outcome in self._quarantine(
+                                    state, "worker_lost",
+                                    "process pool could not be rebuilt; "
+                                    "suspect point not retried in-process"):
+                                yield outcome
+                        else:
+                            for key, params in state.points:
+                                if on_start is not None \
+                                        and not state.started:
+                                    on_start(key)
+                                yield execute_point(
+                                    run_point, key, params, budget,
+                                    store=store, refresh=refresh,
+                                    backend_name="serial-degraded",
+                                    crash_dir=crash_dir)
+                    return
+                queue = [s for s in queue if s not in batch]
+                future_map: Dict[Any, _ChunkState] = {}
+                stall: Optional[float] = None
+                for state in batch:
+                    state.attempts += 1
+                    if state.first_submit is None:
+                        state.first_submit = time.monotonic()
+                    if on_start is not None and not state.started:
+                        state.started = True
+                        for key, _ in state.points:
+                            on_start(key)
+                    # The store travels to the worker (it is plain
+                    # paths + a fingerprint), so lookups and puts
+                    # happen where the simulation runs — all processes
+                    # share one cache.
+                    future = pool.submit(
+                        _execute_chunk, run_point, state.points, budget,
+                        store, refresh, crash_dir)
+                    future_map[future] = state
+                    window = self._stall_window(budget,
+                                                len(state.points))
+                    if window is not None:
+                        stall = window if stall is None \
+                            else max(stall, window)
+                pending = set(future_map)
+                broken = False
+                while pending and not broken:
+                    done, pending = wait(pending, timeout=stall,
+                                         return_when=FIRST_COMPLETED)
+                    if not done:
+                        # Nothing finished inside the stall window:
+                        # the remaining workers are hung. Kill them
+                        # and retry/quarantine their chunks.
+                        self.respawns += 1
+                        for future in pending:
+                            state = future_map[future]
+                            if state.attempts >= self.max_point_attempts:
+                                for outcome in self._quarantine(
+                                        state, "timeout",
+                                        f"no progress within "
+                                        f"{stall:.1f}s stall window; "
+                                        f"worker terminated"):
+                                    yield outcome
+                            else:
+                                queue.append(state)
+                        self._terminate_pool(pool)
+                        pool = None
+                        break
+                    # Consume every finished future before reacting to
+                    # a break — results that beat the break to the
+                    # finish line must not be lost or re-run.
+                    broken_states = []
+                    for future in done:
+                        state = future_map[future]
+                        try:
+                            outcomes = future.result()
+                        except CancelledError:
+                            queue.append(state)
+                            continue
+                        except BrokenExecutor:
+                            # A worker died (os._exit, segfault, OOM
+                            # kill); the executor is unusable.
+                            broken_states.append(state)
+                            continue
+                        for outcome in outcomes:
+                            yield outcome
+                    if broken_states:
+                        # Requeue or quarantine every unfinished chunk
+                        # and respawn the pool.
+                        self.respawns += 1
+                        casualties = broken_states + [
+                            future_map[f] for f in pending]
+                        for casualty in casualties:
+                            if casualty.attempts \
+                                    >= self.max_point_attempts:
+                                for outcome in self._quarantine(
+                                        casualty, "worker_lost",
+                                        "worker process died repeatedly "
+                                        "while running this point"):
+                                    yield outcome
+                            else:
+                                queue.append(casualty)
+                        self._terminate_pool(pool)
+                        pool = None
+                        broken = True
+                if pool is not None:
+                    pool.shutdown(wait=True)
+                    pool = None
+        finally:
+            if pool is not None:
+                self._terminate_pool(pool)
 
     @staticmethod
     def _check_picklable(run_point: RunPoint,
@@ -259,8 +532,10 @@ class ProcessPoolBackend:
         return f"ProcessPoolBackend(jobs={self.jobs})"
 
 
-def make_backend(jobs: Optional[int] = None, chunksize: int = 1):
+def make_backend(jobs: Optional[int] = None, chunksize: int = 1,
+                 point_timeout: Optional[float] = None):
     """``--jobs N`` semantics: None/1 -> serial, N > 1 -> process pool."""
     if jobs is None or jobs <= 1:
         return SerialBackend()
-    return ProcessPoolBackend(jobs=jobs, chunksize=chunksize)
+    return ProcessPoolBackend(jobs=jobs, chunksize=chunksize,
+                              point_timeout=point_timeout)

@@ -24,8 +24,11 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import tempfile
+import threading
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
@@ -73,7 +76,25 @@ class RunBudget:
 
 @dataclass
 class RunFailure:
-    """A machine-readable record of one failed grid point."""
+    """A machine-readable record of one failed grid point.
+
+    ``kind`` classifies how the point died:
+
+    * ``"error"`` — the run raised a recoverable exception (budget
+      blowout, simulation error, invariant violation); ``reason``
+      holds the exception class name.
+    * ``"internal"`` — an unexpected non-recoverable exception (a
+      programming error) was wrapped instead of aborting the sweep.
+    * ``"worker_lost"`` — the pool worker executing the point died
+      (killed, segfaulted, ``os._exit``) and the point was quarantined
+      after repeated respawns.
+    * ``"timeout"`` — the point exceeded its parent-side wall timeout
+      and its worker was terminated.
+
+    ``bundle`` is the path of the crash bundle captured for this
+    failure (None when no crash directory was configured or the
+    failure happened outside the worker body).
+    """
 
     key: str
     reason: str                  # exception class name, e.g. "BudgetExceededError"
@@ -81,11 +102,14 @@ class RunFailure:
     attempts: int
     elapsed: float               # wall-clock seconds spent across attempts
     params: Dict[str, Any] = field(default_factory=dict)
+    kind: str = "error"
+    bundle: Optional[str] = None
 
     def to_json(self) -> Dict[str, Any]:
         return {"key": self.key, "reason": self.reason,
                 "message": self.message, "attempts": self.attempts,
-                "elapsed": self.elapsed, "params": self.params}
+                "elapsed": self.elapsed, "params": self.params,
+                "kind": self.kind, "bundle": self.bundle}
 
     @staticmethod
     def from_json(data: Dict[str, Any]) -> "RunFailure":
@@ -93,7 +117,9 @@ class RunFailure:
                           message=data["message"],
                           attempts=data["attempts"],
                           elapsed=data["elapsed"],
-                          params=data.get("params", {}))
+                          params=data.get("params", {}),
+                          kind=data.get("kind", "error"),
+                          bundle=data.get("bundle"))
 
 
 #: Exceptions a run may raise that the harness degrades gracefully on.
@@ -182,6 +208,11 @@ class ResilientSweep:
             :class:`~repro.analysis.backends.ProcessPoolBackend`
             deciding where points execute. Checkpoint/failure semantics
             are backend-independent.
+        crash_dir: directory for crash bundles (see
+            :mod:`repro.analysis.diagnostics`). Every failed point
+            captures a reproducible bundle there and the
+            :class:`RunFailure` record carries its path; None (default)
+            disables capture.
         store: a :class:`~repro.store.ResultStore` for content-addressed
             result caching. Every point is looked up before it is
             simulated and stored after (successes only), so re-running
@@ -217,7 +248,8 @@ class ResilientSweep:
                  progress: Optional[Callable[[str, str], None]] = None,
                  backend: Optional[object] = None,
                  store: Optional[object] = None,
-                 refresh: bool = False) -> None:
+                 refresh: bool = False,
+                 crash_dir: Optional[str] = None) -> None:
         self.run_point = run_point
         self.budget = budget or RunBudget()
         self.checkpoint_path = checkpoint_path
@@ -231,6 +263,8 @@ class ResilientSweep:
         self.backend = backend
         self.store = store
         self.refresh = refresh
+        self.crash_dir = crash_dir
+        self._interrupted: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -324,6 +358,39 @@ class ResilientSweep:
     # Execution
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def _trap_signals(self):
+        """Convert SIGINT/SIGTERM into a cooperative stop.
+
+        The handler only sets a flag; the run loop notices it after the
+        in-flight point lands and its checkpoint is flushed, then
+        re-raises, so an interrupted sweep always resumes cleanly from
+        a consistent checkpoint. Outside the main thread (or where
+        signals are unavailable) this is a transparent no-op.
+        """
+        self._interrupted = None
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        previous = {}
+
+        def handler(signum, frame):
+            self._interrupted = signum
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic env
+                pass
+        try:
+            yield
+        finally:
+            for sig, old in previous.items():
+                try:
+                    signal.signal(sig, old)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
     def run(self, points: Sequence[Tuple[str, Dict[str, Any]]]
             ) -> SweepOutcome:
         """Execute every grid point, degrading gracefully on failures.
@@ -332,7 +399,10 @@ class ResilientSweep:
         are handed to the execution backend (serially by default, or a
         process pool). The checkpoint is rewritten after every finished
         point regardless of backend, so an interrupted parallel sweep
-        resumes exactly like a serial one.
+        resumes exactly like a serial one. SIGINT/SIGTERM are trapped
+        for the duration of the run: the in-flight point finishes, the
+        checkpoint is flushed, and only then does the signal re-raise
+        (KeyboardInterrupt / SystemExit).
         """
         keys = [key for key, _ in points]
         if len(set(keys)) != len(keys):
@@ -347,26 +417,37 @@ class ResilientSweep:
                    if key not in completed and key not in failed_keys]
         resumed = len(points) - len(pending)
         hits = misses = 0
-        for outcome in self.backend.execute(
-                self.run_point, pending, self.budget,
-                on_start=lambda key: self._note(key, "run"),
-                store=self.store, refresh=self.refresh):
-            if outcome.failure is not None:
-                failures.append(outcome.failure)
-                failed_keys.add(outcome.key)
-                self._note(outcome.key,
-                           f"failed: {outcome.failure.reason}")
-            else:
-                completed[outcome.key] = outcome.result
-                if outcome.cache_key is not None:
-                    refs[outcome.key] = outcome.cache_key
-                if outcome.cached:
-                    hits += 1
-                    self._note(outcome.key, "cached")
+        with self._trap_signals():
+            for outcome in self.backend.execute(
+                    self.run_point, pending, self.budget,
+                    on_start=lambda key: self._note(key, "run"),
+                    store=self.store, refresh=self.refresh,
+                    crash_dir=self.crash_dir):
+                if outcome.failure is not None:
+                    failures.append(outcome.failure)
+                    failed_keys.add(outcome.key)
+                    self._note(outcome.key,
+                               f"failed: {outcome.failure.reason}")
                 else:
-                    misses += 1
-                    self._note(outcome.key, "ok")
-            self._write_checkpoint(completed, failures, refs)
+                    completed[outcome.key] = outcome.result
+                    if outcome.cache_key is not None:
+                        refs[outcome.key] = outcome.cache_key
+                    if outcome.cached:
+                        hits += 1
+                        self._note(outcome.key, "cached")
+                    else:
+                        misses += 1
+                        self._note(outcome.key, "ok")
+                self._write_checkpoint(completed, failures, refs)
+                if self._interrupted is not None:
+                    # Exiting the loop closes the backend generator,
+                    # which tears down any pool workers.
+                    break
+        if self._interrupted is not None:
+            signum, self._interrupted = self._interrupted, None
+            if signum == signal.SIGTERM:
+                raise SystemExit(128 + signum)
+            raise KeyboardInterrupt
         return SweepOutcome(completed=completed, failures=failures,
                             resumed=resumed, hits=hits, misses=misses)
 

@@ -142,7 +142,8 @@ def sweep_rate_delay(cca_factory: CCALike,
                      template: Optional[ScenarioSpec] = None,
                      store: Optional[object] = None,
                      cache_dir: Optional[str] = None,
-                     refresh: bool = False
+                     refresh: bool = False,
+                     crash_dir: Optional[str] = None
                      ) -> RateDelayCurve:
     """Measure the equilibrium RTT range across link rates.
 
@@ -185,6 +186,9 @@ def sweep_rate_delay(cca_factory: CCALike,
         cache_dir: shorthand for ``store=ResultStore(cache_dir)``.
         refresh: recompute every point and overwrite store entries
             (the CLI's ``--force``).
+        crash_dir: directory for reproducible crash bundles — every
+            failed grid point captures one there (see
+            :mod:`repro.analysis.diagnostics` and ``repro replay``).
     """
     if backend is None:
         backend = make_backend(jobs)
@@ -259,7 +263,8 @@ def sweep_rate_delay(cca_factory: CCALike,
     sweep = ResilientSweep(run_point, budget=budget,
                            checkpoint_path=checkpoint_path,
                            retry_failures_on_resume=retry_failures,
-                           backend=backend, store=store, refresh=refresh)
+                           backend=backend, store=store, refresh=refresh,
+                           crash_dir=crash_dir)
     outcome = sweep.run(points)
     curve_points = [RateDelayPoint(**outcome.completed[key])
                     for key, _ in points if key in outcome.completed]

@@ -12,6 +12,9 @@ Installed as the ``repro`` console script::
     repro sweep --cca bbr --rates 0.4,2,10,50 --jobs 4 --json curve.json
     repro sweep --cca bbr --rates 0.4,2,10,50 --checkpoint sweep.json
     repro sweep --cca bbr --rates 0.4,2,10,50 --cache-dir ~/.repro-cache
+    repro sweep --cca bbr --rates 0.4,2,10,50 --crash-dir crashes
+    repro sweep --cca bbr --rates 0.4,2,10,50 --invariants strict
+    repro replay crashes/crash-10mbps-1a2b3c4d.json --strict
     repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
     repro theorem 1|2|3
     repro cache stats|ls|gc|verify --cache-dir ~/.repro-cache
@@ -33,6 +36,12 @@ content address (:mod:`repro.store`) and a repeated invocation serves
 hits instead of simulating, with byte-identical output. ``--force``
 recomputes and overwrites entries, ``--no-cache`` ignores the cache
 entirely, and ``repro cache`` inspects and maintains a store.
+
+They also accept ``--crash-dir DIR``: every failed point captures a
+reproducible crash bundle (params + seed + traceback + budget; see
+:mod:`repro.analysis.diagnostics`) that ``repro replay BUNDLE`` re-runs
+exactly — and ``--invariants off|warn|strict`` sets the runtime
+invariant sentinel mode (:mod:`repro.sim.invariants`).
 
 Every command prints an ASCII report; nothing is written to disk unless
 ``--checkpoint``/``--json``/``--dump-spec``/``--cache-dir`` asks for it.
@@ -83,6 +92,35 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--force", action="store_true",
         help="recompute cached points and overwrite their store entries")
+
+
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    """Crash-bundle and invariant-sentinel flags shared by
+    run/sweep/starve."""
+    parser.add_argument(
+        "--crash-dir", default=os.environ.get("REPRO_CRASH_DIR"),
+        metavar="DIR",
+        help="capture a reproducible crash bundle for every failed "
+             "point under DIR; re-run one with 'repro replay' "
+             "(default: $REPRO_CRASH_DIR)")
+    parser.add_argument(
+        "--invariants", choices=["off", "warn", "strict"], default=None,
+        help="runtime invariant sentinel mode: off (no checks), warn "
+             "(default: report violations, keep running), strict "
+             "(first violation fails the point). Also settable via "
+             "$REPRO_INVARIANTS")
+
+
+def _apply_invariants(args: argparse.Namespace) -> None:
+    """Install ``--invariants`` as the process-wide sentinel mode.
+
+    Exported through the environment (not ``override_mode``) so spawned
+    pool workers inherit it too.
+    """
+    mode = getattr(args, "invariants", None)
+    if mode:
+        from .sim.invariants import ENV_VAR
+        os.environ[ENV_VAR] = mode
 
 
 def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
@@ -297,6 +335,7 @@ def _run_spec_point(params: Dict[str, Any], budget: RunBudget
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _apply_invariants(args)
     specs = _specs_from_args(args)
     if args.dump_spec:
         for _, spec in specs:
@@ -326,7 +365,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     failures = []
     hits = misses = 0
     for outcome in backend.execute(_run_spec_point, points, budget,
-                                   store=store, refresh=args.force):
+                                   store=store, refresh=args.force,
+                                   crash_dir=args.crash_dir):
         if outcome.failure is not None:
             failures.append(outcome.failure)
         else:
@@ -347,6 +387,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _apply_invariants(args)
     if not registry.is_registered(args.cca):
         raise SystemExit(
             f"unknown CCA {args.cca!r}; choose from "
@@ -370,7 +411,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                                   chunksize=args.chunksize),
                              seed=args.seed,
                              template=template, store=store,
-                             refresh=args.force)
+                             refresh=args.force,
+                             crash_dir=args.crash_dir)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(curve.to_json(), fh, indent=1, sort_keys=True)
@@ -402,6 +444,7 @@ def _run_starve_point(params: Dict[str, Any], budget: RunBudget
 
 
 def cmd_starve(args: argparse.Namespace) -> int:
+    _apply_invariants(args)
     names = list(dict.fromkeys(args.scenario))
     for name in names:
         if name not in STARVE_SCENARIOS:
@@ -416,7 +459,8 @@ def cmd_starve(args: argparse.Namespace) -> int:
     failures = []
     hits = misses = 0
     for outcome in backend.execute(_run_starve_point, points, budget,
-                                   store=store, refresh=args.force):
+                                   store=store, refresh=args.force,
+                                   crash_dir=args.crash_dir):
         if outcome.failure is not None:
             failures.append(outcome.failure)
         else:
@@ -434,6 +478,42 @@ def cmd_starve(args: argparse.Namespace) -> int:
         print(describe_failures(failures))
         return 1
     return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run the exact grid point captured in a crash bundle."""
+    from .analysis.diagnostics import load_bundle, replay_bundle
+    try:
+        data = load_bundle(args.bundle)
+    except (OSError, json.JSONDecodeError, ConfigurationError) as exc:
+        raise SystemExit(f"cannot read crash bundle: {exc}")
+    mode = "strict" if args.strict else args.invariants
+    original = f"{data.get('reason', '?')}: {data.get('message', '')}"
+    print(f"replaying point {data.get('key', '?')!r} "
+          f"from {args.bundle}")
+    print(f"  original failure: {original}")
+    if data.get("seed") is not None:
+        print(f"  root seed: {data['seed']}")
+    if mode:
+        print(f"  sentinel mode: {mode}")
+    if args.budget_scale != 1.0:
+        print(f"  budgets scaled x{args.budget_scale:g}")
+    try:
+        outcome = replay_bundle(args.bundle, invariants=mode,
+                                budget_scale=args.budget_scale)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    if outcome.ok:
+        print("replay PASSED: the failure did not reproduce "
+              "(fixed code, larger budget, or a non-strict mode)")
+        return 0
+    failure = outcome.failure
+    reproduced = failure.reason == data.get("reason")
+    print(f"replay FAILED: {failure.reason}: {failure.message}")
+    print("the original failure reproduces deterministically"
+          if reproduced else
+          f"the failure differs from the original ({original})")
+    return 1
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -622,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-events", type=int, default=None,
         help="abort the run after this many engine events (watchdog)")
     _add_cache_flags(run_parser)
+    _add_robustness_flags(run_parser)
     _add_profile_flags(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -663,6 +744,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run checkpointed failed points (e.g. after raising "
              "--max-events) instead of keeping their failure records")
     _add_cache_flags(sweep_parser)
+    _add_robustness_flags(sweep_parser)
     _add_profile_flags(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
@@ -677,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunksize", type=int, default=1,
         help="scenarios per worker task with --jobs (default 1)")
     _add_cache_flags(starve_parser)
+    _add_robustness_flags(starve_parser)
     starve_parser.set_defaults(func=cmd_starve)
 
     cache_parser = sub.add_parser(
@@ -690,6 +773,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
         metavar="DIR", help="store root (default: $REPRO_CACHE_DIR)")
     cache_parser.set_defaults(func=cmd_cache)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-run the exact point captured in a crash bundle")
+    replay_parser.add_argument(
+        "bundle", metavar="BUNDLE",
+        help="crash bundle JSON written by a --crash-dir run")
+    replay_parser.add_argument(
+        "--strict", action="store_true",
+        help="shorthand for --invariants strict: the sentinel raises "
+             "on the first violated invariant during the replay")
+    replay_parser.add_argument(
+        "--invariants", choices=["off", "warn", "strict"], default=None,
+        help="force the invariant sentinel mode for the replay "
+             "(default: the bundle's environment semantics)")
+    replay_parser.add_argument(
+        "--budget-scale", type=float, default=1.0, metavar="X",
+        help="multiply the recorded event/wall budgets by X, to "
+             "distinguish a divergent point from one that merely ran "
+             "out of headroom (default 1)")
+    replay_parser.set_defaults(func=cmd_replay)
 
     theorem_parser = sub.add_parser(
         "theorem", help="run a theorem construction on the fluid model")

@@ -43,6 +43,31 @@ class BudgetExceededError(SimulationError):
         self.sim_time = sim_time
 
 
+class InvariantViolation(SimulationError):
+    """A runtime invariant check failed (sentinel in ``strict`` mode).
+
+    Raised by :class:`repro.sim.invariants.InvariantSentinel` when a
+    conservation, causality, or sanity invariant is violated during a
+    run. In ``warn`` mode the same condition emits an
+    :class:`repro.sim.invariants.InvariantWarning` instead.
+
+    Attributes:
+        kind: invariant family ("conservation", "causality", "sanity").
+        sim_time: simulation clock when the check fired.
+        details: structured context captured at violation time — the
+            offending values plus a tail of the recorder traces — used
+            by crash bundles for post-mortem analysis.
+    """
+
+    def __init__(self, message: str, kind: str = "sanity",
+                 sim_time: float | None = None,
+                 details: dict | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.sim_time = sim_time
+        self.details = details if details is not None else {}
+
+
 class EmulationInfeasibleError(ReproError):
     """The Theorem 1 delay-emulation constraints cannot be satisfied.
 

@@ -10,6 +10,8 @@ from .faults import (BlackoutElement, CorruptionElement, DuplicateElement,
                      FaultSchedule, FaultWindow, GilbertElliottLossElement,
                      LinkFlapElement, ReorderElement)
 from .host import Receiver, Sender
+from .invariants import (InvariantSentinel, InvariantWarning, override_mode,
+                         resolve_mode)
 from .network import FlowConfig, LinkConfig, Scenario, build_dumbbell
 from .packet import Ack, AckInfo, Packet
 from .queue import BottleneckQueue
@@ -19,7 +21,8 @@ __all__ = [
     "Ack", "AckInfo", "BlackoutElement", "BottleneckQueue",
     "CorruptionElement", "DuplicateElement", "Event", "FaultSchedule",
     "FaultWindow", "FlowConfig", "FlowStats", "GilbertElliottLossElement",
-    "LinkConfig", "LinkFlapElement", "Packet", "Receiver", "ReorderElement",
-    "RunResult", "Scenario", "Sender", "Simulator", "build_dumbbell",
-    "run_scenario", "run_scenario_full",
+    "InvariantSentinel", "InvariantWarning", "LinkConfig", "LinkFlapElement",
+    "Packet", "Receiver", "ReorderElement", "RunResult", "Scenario",
+    "Sender", "Simulator", "build_dumbbell", "override_mode",
+    "resolve_mode", "run_scenario", "run_scenario_full",
 ]

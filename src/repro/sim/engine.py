@@ -92,6 +92,12 @@ class Simulator:
         self._seq: int = 0
         self._events_processed: int = 0
         self._pool: List[Event] = []
+        #: Optional invariant sentinel (see repro.sim.invariants). When
+        #: attached and active, :meth:`run` takes the budgeted loop and
+        #: calls ``sentinel.check(self)`` every ``sentinel.cadence``
+        #: executed events plus once per ``run`` — the sentinel never
+        #: schedules events, so the event stream is unchanged.
+        self.sentinel = None
 
     @property
     def events_processed(self) -> int:
@@ -216,12 +222,19 @@ class Simulator:
                 included, so a cancellation burst cannot defer the
                 check).
         """
-        if max_events is None and wall_clock_budget is None:
+        sentinel = self.sentinel
+        if sentinel is not None and not sentinel.active:
+            sentinel = None
+        if max_events is None and wall_clock_budget is None \
+                and sentinel is None:
             self._run_fast(until)
         else:
             self._run_budgeted(until, max_events, wall_clock_budget)
         if self.now < until:
             self.now = until
+        if sentinel is not None:
+            # Short runs (< cadence events) still get one full battery.
+            sentinel.check(self)
 
     def _run_fast(self, until: float) -> None:
         heap = self._heap
@@ -266,6 +279,10 @@ class Simulator:
         wall_start = time.monotonic() if wall_clock_budget is not None \
             else 0.0
         since_check = 0
+        sentinel = self.sentinel
+        if sentinel is not None and not sentinel.active:
+            sentinel = None
+        sentinel_countdown = sentinel.cadence if sentinel is not None else 0
         while heap:
             entry = heap[0]
             event_time = entry[0]
@@ -304,6 +321,11 @@ class Simulator:
                 callback(*args)
             else:
                 callback()
+            if sentinel is not None:
+                sentinel_countdown -= 1
+                if sentinel_countdown <= 0:
+                    sentinel_countdown = sentinel.cadence
+                    sentinel.check(self)
             if max_events is not None:
                 within_call = executed - events_at_entry
                 if within_call >= max_events:
@@ -327,9 +349,14 @@ class Simulator:
         """
         wall_start = time.monotonic() if wall_clock_budget is not None \
             else 0.0
+        sentinel = self.sentinel
+        if sentinel is not None and not sentinel.active:
+            sentinel = None
         count = 0
         while self.step():
             count += 1
+            if sentinel is not None and count % sentinel.cadence == 0:
+                sentinel.check(self)
             if count > max_events:
                 raise BudgetExceededError(
                     f"exceeded {max_events} events; likely a runaway loop",

@@ -380,6 +380,40 @@ class Sender:
         self._arm_rto()
         self._try_send()
 
+    # ------------------------------------------------------------------
+    # Invariant sentinel hook (see repro.sim.invariants)
+    # ------------------------------------------------------------------
+
+    def invariant_errors(self):
+        """Yield (kind, site, message) for violated sender invariants."""
+        errors = []
+        unacked_bytes = sum(entry[0] for entry in self._unacked.values())
+        if unacked_bytes != self.inflight_bytes:
+            errors.append((
+                "conservation", "inflight",
+                f"inflight_bytes={self.inflight_bytes} but unacked "
+                f"packets hold {unacked_bytes} bytes"))
+        if self.inflight_bytes < 0:
+            errors.append((
+                "conservation", "inflight_negative",
+                f"inflight_bytes is negative: {self.inflight_bytes}"))
+        if self.delivered_bytes > self.next_seq * self.mss + 1e-6:
+            errors.append((
+                "conservation", "delivered",
+                f"delivered {self.delivered_bytes} unique bytes but only "
+                f"{self.next_seq * self.mss} were ever created"))
+        for name, value in (("min_rtt", self.min_rtt),
+                            ("srtt", self.srtt),
+                            ("latest_rtt", self.latest_rtt)):
+            if value is None:
+                continue
+            if value != value or value <= 0.0 or (
+                    name != "min_rtt" and math.isinf(value)):
+                errors.append((
+                    "sanity", name,
+                    f"{name} must be positive and finite, got {value!r}"))
+        return errors
+
 
 class Receiver:
     """Receives data packets and emits (possibly delayed) ACKs.
@@ -490,3 +524,21 @@ class Receiver:
                       ecn_marked_count=ecn_count)
         self._pending = []
         self.ack_path.receive(ack, now)
+
+    # ------------------------------------------------------------------
+    # Invariant sentinel hook (see repro.sim.invariants)
+    # ------------------------------------------------------------------
+
+    def invariant_errors(self):
+        """Yield (kind, site, message) for violated receiver invariants."""
+        errors = []
+        if self.received_packets < len(self._seen):
+            errors.append((
+                "conservation", "received_count",
+                f"received_packets={self.received_packets} below unique "
+                f"sequence count {len(self._seen)}"))
+        if self.received_bytes < 0:
+            errors.append((
+                "conservation", "received_bytes",
+                f"received_bytes is negative: {self.received_bytes}"))
+        return errors

@@ -16,6 +16,7 @@ from ..errors import ConfigurationError
 from .engine import Simulator
 from .faults import FaultSchedule
 from .host import Receiver, Sender
+from .invariants import InvariantSentinel
 from .packet import PacketPool
 from .path import DelayElement, ElementFactory, chain
 from .queue import BottleneckQueue
@@ -124,11 +125,13 @@ class Scenario:
 
     def __init__(self, sim: Simulator, queue: BottleneckQueue,
                  flows: List[BuiltFlow],
-                 queue_recorder: QueueRecorder) -> None:
+                 queue_recorder: QueueRecorder,
+                 sentinel: Optional[InvariantSentinel] = None) -> None:
         self.sim = sim
         self.queue = queue
         self.flows = flows
         self.queue_recorder = queue_recorder
+        self.sentinel = sentinel
 
     def run(self, duration: float, max_events: Optional[int] = None,
             wall_clock_budget: Optional[float] = None) -> None:
@@ -144,8 +147,33 @@ class Scenario:
                      wall_clock_budget=wall_clock_budget)
 
 
+def _walk_elements(entry: object, stop: object) -> List[object]:
+    """Collect path elements from ``entry`` down to (excluding) ``stop``.
+
+    Elements are duck-typed sinks linked by ``sink`` (plus
+    ``impaired``/``bypass`` for fault window gates); the walk surfaces
+    every element that owns drop/duplicate counters so the invariant
+    sentinel can include them in the packet-conservation balance.
+    """
+    found: List[object] = []
+    seen = set()
+    frontier = [entry]
+    while frontier:
+        node = frontier.pop()
+        if node is None or node is stop or id(node) in seen:
+            continue
+        seen.add(id(node))
+        if hasattr(node, "dropped") or hasattr(node, "corrupted") \
+                or hasattr(node, "duplicated"):
+            found.append(node)
+        for attr in ("sink", "impaired", "bypass"):
+            frontier.append(getattr(node, attr, None))
+    return found
+
+
 def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
-                   sample_interval: float = 0.05) -> Scenario:
+                   sample_interval: float = 0.05,
+                   invariants: Optional[str] = None) -> Scenario:
     """Assemble the Section 3 topology: shared FIFO + per-flow paths.
 
     Forward path per flow:
@@ -157,10 +185,17 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
     bottleneck; ACKs return instantly unless ack_elements add delay. The
     measured RTT is therefore queueing + transmission + rm + jitter,
     matching the paper's decomposition.
+
+    ``invariants`` selects the runtime sentinel mode (``off`` | ``warn``
+    | ``strict``); ``None`` resolves from the ``REPRO_INVARIANTS``
+    environment variable (default ``warn``). The sentinel observes the
+    built components without scheduling events, so enabling it is
+    bit-invisible to traces and summaries.
     """
     if not flows:
         raise ConfigurationError("scenario needs at least one flow")
     sim = Simulator()
+    sentinel = InvariantSentinel(mode=invariants)
     first_rm = flows[0].rm
     # One shared free list per scenario: packets cycle sender -> queue
     # -> receiver -> (as ACKs) -> sender instead of being allocated per
@@ -175,6 +210,9 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
     if link.fault_schedule is not None:
         queue_entry = link.fault_schedule.build(sim, queue)
     built: List[BuiltFlow] = []
+    # Per-flow chains share the link fault elements; dedupe by identity
+    # so the conservation balance counts each drop source exactly once.
+    registered_elements: set = set()
     for flow_id, config in enumerate(flows):
         cca = config.cca_factory()
         sender = Sender(sim, flow_id, cca, mss=config.mss,
@@ -198,6 +236,20 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
         recorder = FlowRecorder(sim, sender, receiver=receiver,
                                 sample_interval=sample_interval)
         built.append(BuiltFlow(flow_id, config, sender, receiver, recorder))
+        if sentinel.active:
+            sentinel.register_flow(sender, receiver, recorder)
+            for element in _walk_elements(data_entry, queue):
+                if id(element) not in registered_elements:
+                    registered_elements.add(id(element))
+                    sentinel.register_element(element)
+            for element in _walk_elements(ack_entry, sender):
+                if id(element) not in registered_elements:
+                    registered_elements.add(id(element))
+                    sentinel.register_element(element)
     queue_recorder = QueueRecorder(sim, queue,
                                    sample_interval=sample_interval)
-    return Scenario(sim, queue, built, queue_recorder)
+    if sentinel.active:
+        sentinel.register_queue(queue, queue_recorder)
+        sentinel.register_pool(pool)
+        sentinel.attach(sim)
+    return Scenario(sim, queue, built, queue_recorder, sentinel=sentinel)

@@ -182,6 +182,35 @@ class PacketPool:
             if len(self._acks) < self.max_size:
                 self._acks.append(ack)
 
+    # ------------------------------------------------------------------
+    # Invariant sentinel hook (see repro.sim.invariants)
+    # ------------------------------------------------------------------
+
+    def invariant_errors(self):
+        """Yield (kind, site, message) for violated free-list invariants.
+
+        Every object on a free list must have been released exactly once
+        (``poolable`` cleared by :meth:`release`/:meth:`release_ack`); a
+        poolable object here means a double-release aliased the object —
+        the pool could hand the same packet to two owners.
+        """
+        errors = []
+        for name, free in (("packets", self._packets),
+                           ("acks", self._acks)):
+            if len(free) > self.max_size:
+                errors.append((
+                    "conservation", f"{name}_overflow",
+                    f"free list '{name}' holds {len(free)} objects, "
+                    f"bound is {self.max_size}"))
+            for obj in free:
+                if obj.poolable:
+                    errors.append((
+                        "conservation", f"{name}_aliased",
+                        f"free {name[:-1]} {obj!r} still marked poolable "
+                        f"(double release / aliasing)"))
+                    break
+        return errors
+
 
 class AckInfo:
     """Digest handed to a CCA on each ACK event.

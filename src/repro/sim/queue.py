@@ -135,3 +135,26 @@ class BottleneckQueue:
             self.sim.schedule(nxt.size / self.rate, self._finish_service)
         else:
             self._busy = False
+
+    # ------------------------------------------------------------------
+    # Invariant sentinel hook (see repro.sim.invariants)
+    # ------------------------------------------------------------------
+
+    def invariant_errors(self):
+        """Yield (kind, site, message) for violated queue invariants."""
+        errors = []
+        queued = self._queued_bytes
+        if queued < -1e-6:
+            errors.append((
+                "sanity", "occupancy_negative",
+                f"queued_bytes is negative: {queued}"))
+        if self.buffer_bytes is not None and queued > self.buffer_bytes + 1e-6:
+            errors.append((
+                "sanity", "occupancy",
+                f"queued_bytes={queued} exceeds buffer capacity "
+                f"{self.buffer_bytes}"))
+        if self._busy and self._in_service is None:
+            errors.append((
+                "sanity", "service",
+                "queue marked busy with no packet in service"))
+        return errors

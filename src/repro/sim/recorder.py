@@ -11,6 +11,7 @@ rate (the old ``None`` entries).
 
 from __future__ import annotations
 
+import math
 from array import array
 from bisect import bisect_left, bisect_right
 from typing import Tuple
@@ -130,6 +131,91 @@ class FlowRecorder:
         window = self.rtt_values[start:]
         return (min(window), max(window))
 
+    # ------------------------------------------------------------------
+    # Invariant sentinel hook (see repro.sim.invariants)
+    # ------------------------------------------------------------------
+
+    def scan_invariants(self, cursors: dict, now: float):
+        """Incrementally validate samples appended since the last scan.
+
+        ``cursors`` maps stream name to the first unscanned index and is
+        updated in place, so repeated calls are O(new samples). Returns
+        (kind, site, message) tuples; at most one per stream per scan.
+        """
+        errors = []
+        eps = 1e-9
+        start = cursors.get("rtt", 0)
+        times, values = self.rtt_times, self.rtt_values
+        end = min(len(times), len(values))
+        if start < end:
+            prev = times[start - 1] if start else -math.inf
+            for i in range(start, end):
+                t, v = times[i], values[i]
+                if t < prev - eps:
+                    errors.append((
+                        "causality", "rtt_times",
+                        f"ACK times regressed at sample {i}: "
+                        f"{prev} -> {t}"))
+                    break
+                if t > now + eps:
+                    errors.append((
+                        "causality", "rtt_future",
+                        f"ACK sample {i} at t={t} is in the future "
+                        f"(now={now})"))
+                    break
+                if not (v > 0.0) or math.isinf(v):
+                    errors.append((
+                        "sanity", "rtt_values",
+                        f"RTT sample {i} must be positive and finite, "
+                        f"got {v!r}"))
+                    break
+                prev = t
+            cursors["rtt"] = end
+        start = cursors.get("samples", 0)
+        times = self.sample_times
+        end = min(len(times), len(self.cwnd_values),
+                  len(self.delivered_values))
+        if start < end:
+            prev_t = times[start - 1] if start else -math.inf
+            prev_d = self.delivered_values[start - 1] if start else 0.0
+            for i in range(start, end):
+                t = times[i]
+                if t < prev_t - eps or t > now + eps:
+                    errors.append((
+                        "causality", "sample_times",
+                        f"sample {i} at t={t} out of order or in the "
+                        f"future (prev={prev_t}, now={now})"))
+                    break
+                cwnd = self.cwnd_values[i]
+                # inf is legitimate for purely rate-based CCAs (see
+                # repro.ccas.base); NaN or <= 0 never is.
+                if not (cwnd > 0.0):
+                    errors.append((
+                        "sanity", "cwnd_values",
+                        f"cwnd sample {i} must be positive, got {cwnd!r}"))
+                    break
+                pacing = self.pacing_values[i]
+                # NaN is the documented "unpaced" encoding; negative or
+                # infinite rates are never legitimate.
+                if pacing == pacing and (pacing < 0.0
+                                         or math.isinf(pacing)):
+                    errors.append((
+                        "sanity", "pacing_values",
+                        f"pacing sample {i} must be >= 0 and finite, "
+                        f"got {pacing!r}"))
+                    break
+                delivered = self.delivered_values[i]
+                if delivered != delivered or math.isinf(delivered) \
+                        or delivered < prev_d - eps:
+                    errors.append((
+                        "conservation", "delivered_values",
+                        f"delivered-bytes sample {i} regressed or is not "
+                        f"finite: {prev_d} -> {delivered!r}"))
+                    break
+                prev_t, prev_d = t, delivered
+            cursors["samples"] = end
+        return errors
+
 
 class QueueRecorder:
     """Periodically samples bottleneck backlog (bytes) and delay."""
@@ -147,6 +233,37 @@ class QueueRecorder:
         self.sample_times.append(self.sim.now)
         self.backlog_values.append(self.queue.backlog_bytes)
         self.sim.schedule(self.sample_interval, self._sample)
+
+    # ------------------------------------------------------------------
+    # Invariant sentinel hook (see repro.sim.invariants)
+    # ------------------------------------------------------------------
+
+    def scan_invariants(self, cursors: dict, now: float):
+        """Incrementally validate backlog samples (see FlowRecorder)."""
+        errors = []
+        eps = 1e-9
+        start = cursors.get("backlog", 0)
+        times, values = self.sample_times, self.backlog_values
+        end = min(len(times), len(values))
+        if start < end:
+            prev_t = times[start - 1] if start else -math.inf
+            for i in range(start, end):
+                t, v = times[i], values[i]
+                if t < prev_t - eps or t > now + eps:
+                    errors.append((
+                        "causality", "sample_times",
+                        f"backlog sample {i} at t={t} out of order or in "
+                        f"the future (prev={prev_t}, now={now})"))
+                    break
+                if v != v or math.isinf(v) or v < -eps:
+                    errors.append((
+                        "sanity", "backlog_values",
+                        f"backlog sample {i} must be >= 0 and finite, "
+                        f"got {v!r}"))
+                    break
+                prev_t = t
+            cursors["backlog"] = end
+        return errors
 
     def max_backlog(self) -> float:
         return max(self.backlog_values, default=0.0)

@@ -113,7 +113,8 @@ def run_scenario(link: LinkConfig, flows: Sequence[FlowConfig],
                  duration: float, warmup: float = 0.0,
                  sample_interval: Optional[float] = None,
                  max_events: Optional[int] = None,
-                 wall_clock_budget: Optional[float] = None
+                 wall_clock_budget: Optional[float] = None,
+                 invariants: Optional[str] = None
                  ) -> List[FlowStats]:
     """Build, run, and summarize a dumbbell scenario.
 
@@ -122,14 +123,16 @@ def run_scenario(link: LinkConfig, flows: Sequence[FlowConfig],
     """
     return run_scenario_full(link, flows, duration, warmup,
                              sample_interval, max_events=max_events,
-                             wall_clock_budget=wall_clock_budget).stats
+                             wall_clock_budget=wall_clock_budget,
+                             invariants=invariants).stats
 
 
 def run_scenario_full(link: LinkConfig, flows: Sequence[FlowConfig],
                       duration: float, warmup: float = 0.0,
                       sample_interval: Optional[float] = None,
                       max_events: Optional[int] = None,
-                      wall_clock_budget: Optional[float] = None
+                      wall_clock_budget: Optional[float] = None,
+                      invariants: Optional[str] = None
                       ) -> RunResult:
     """Like :func:`run_scenario` but returns recorders and the scenario.
 
@@ -137,13 +140,18 @@ def run_scenario_full(link: LinkConfig, flows: Sequence[FlowConfig],
     divergent run raises :class:`repro.errors.BudgetExceededError`
     instead of spinning forever (see
     :class:`repro.analysis.harness.ResilientSweep` for how sweeps turn
-    that into a recorded failure).
+    that into a recorded failure). ``invariants`` selects the runtime
+    sentinel mode (``off``/``warn``/``strict``; ``None`` = resolve from
+    ``REPRO_INVARIANTS``) — strict mode raises
+    :class:`repro.errors.InvariantViolation` on the first violated
+    conservation/causality/sanity invariant.
     """
     if sample_interval is None:
         # Sample finely enough to resolve the shortest RTT.
         min_rm = min(flow.rm for flow in flows)
         sample_interval = max(min_rm / 4, duration / 20000)
-    scenario = build_dumbbell(link, flows, sample_interval=sample_interval)
+    scenario = build_dumbbell(link, flows, sample_interval=sample_interval,
+                              invariants=invariants)
     scenario.run(duration, max_events=max_events,
                  wall_clock_budget=wall_clock_budget)
     stats = summarize(scenario, duration, warmup)

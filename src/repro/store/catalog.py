@@ -14,7 +14,8 @@ lookup event:
 Events: ``hit`` (served from cache), ``miss`` (simulated and stored),
 ``fail`` (simulated, failed, *not* stored). Lines are appended under an
 advisory lock so pool workers never interleave; a corrupt line (torn
-write from a killed process) is skipped on read, never fatal.
+write from a killed process) is skipped on read, never fatal, and the
+next append seals it with a newline so later records stay parseable.
 """
 
 from __future__ import annotations
@@ -100,8 +101,23 @@ class Catalog:
         }, sort_keys=True)
         with advisory_lock(self._lock_path):
             os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            # A writer killed mid-append can leave a torn final line
+            # with no trailing newline. Appending straight after it
+            # would weld this record onto the garbage and lose both;
+            # sealing the tail first confines the damage to the torn
+            # line (which entries() already skips).
+            prefix = "" if self._tail_sealed() else "\n"
             with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+                fh.write(prefix + line + "\n")
+
+    def _tail_sealed(self) -> bool:
+        """True when the file is empty/missing or ends in a newline."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) == b"\n"
+        except OSError:  # missing file, or seek past start of empty file
+            return True
 
     # ------------------------------------------------------------------
     # Reading

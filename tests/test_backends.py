@@ -5,6 +5,8 @@ a SerialBackend sweep returns — same results, same failure records, same
 checkpoints — just on more cores.
 """
 
+import json
+
 import pytest
 
 from repro import units
@@ -59,12 +61,41 @@ class TestExecutePoint:
         assert outcome.failure.attempts == 3  # initial + 2 retries
         assert "boom" in outcome.failure.message
 
-    def test_programming_errors_propagate(self):
+    def test_programming_errors_wrap_as_internal_failure(self):
+        # A buggy experiment script must not abort the whole sweep: it
+        # degrades to RunFailure(kind="internal") with no retries
+        # (retrying a programming error cannot help).
         def bad(params, budget):
             raise TypeError("not recoverable")
 
-        with pytest.raises(TypeError):
-            execute_point(bad, "k", {}, RunBudget())
+        outcome = execute_point(bad, "k", {}, RunBudget(retries=2))
+        assert not outcome.ok
+        assert outcome.failure.kind == "internal"
+        assert outcome.failure.reason == "TypeError"
+        assert outcome.failure.attempts == 1
+        assert outcome.failure.bundle is None  # no crash_dir configured
+
+    def test_programming_errors_capture_crash_bundle(self, tmp_path):
+        def bad(params, budget):
+            raise TypeError("not recoverable")
+
+        crash_dir = str(tmp_path / "crashes")
+        outcome = execute_point(bad, "k", {"x": 1}, RunBudget(),
+                                crash_dir=crash_dir)
+        assert outcome.failure.kind == "internal"
+        assert outcome.failure.bundle is not None
+        with open(outcome.failure.bundle) as fh:
+            bundle = json.load(fh)
+        assert bundle["reason"] == "TypeError"
+        assert bundle["params"] == {"x": 1}
+        assert "Traceback" in bundle["traceback"]
+
+    def test_keyboard_interrupt_stays_fatal(self):
+        def interrupted(params, budget):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            execute_point(interrupted, "k", {}, RunBudget())
 
 
 class TestMakeBackend:

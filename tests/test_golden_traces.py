@@ -37,3 +37,23 @@ def test_traces_match_committed_golden():
     assert not problems, (
         "simulation output diverged from the committed golden traces "
         "(optimizations must be bit-invisible):\n" + "\n".join(problems))
+
+
+def test_golden_battery_is_invariant_clean_under_strict_sentinel():
+    """Every golden scenario passes with the sentinel in strict mode.
+
+    Two guarantees at once: no scenario in the battery violates a
+    conservation/causality/sanity invariant (strict raises on the
+    first violation), and attaching the sentinel is bit-invisible —
+    the digests still match the committed reference captured without
+    it.
+    """
+    from repro.sim.invariants import override_mode
+    reference = json.loads(GOLDEN_PATH.read_text())
+    with override_mode("strict"):
+        current = golden.capture_all()
+    problems = golden.compare(current, reference)
+    assert not problems, (
+        "strict invariant sentinel perturbed the golden traces "
+        "(it must schedule no events and mutate nothing):\n"
+        + "\n".join(problems))

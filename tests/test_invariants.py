@@ -1,0 +1,294 @@
+"""Tests for the runtime invariant sentinel (repro.sim.invariants).
+
+Two angles: mode plumbing (env var, override, explicit) and the check
+battery itself, driven by small fake components that violate exactly
+one invariant at a time. The integration angle — a full scenario run
+staying invariant-clean in strict mode — is covered here with short
+runs and in tests/test_golden_traces.py for the whole golden battery.
+"""
+
+import math
+import warnings
+
+import pytest
+
+from repro import units
+from repro.errors import InvariantViolation
+from repro.sim import LinkConfig, FlowConfig, run_scenario_full
+from repro.sim.invariants import (DEFAULT_CADENCE, ENV_VAR,
+                                  InvariantSentinel, InvariantWarning,
+                                  override_mode, resolve_mode)
+
+
+class FakeSim:
+    def __init__(self, now=1.0):
+        self.now = now
+        self.sentinel = None
+
+
+class FakeCCA:
+    def __init__(self, cwnd=30000.0, pacing=None):
+        self.cwnd_bytes = cwnd
+        self.pacing_rate = pacing
+
+
+class FakeSender:
+    def __init__(self, sent=10, cwnd=30000.0, pacing=None,
+                 acked=5, next_seq=10, errors=()):
+        self.sent_packets = sent
+        self.cca = FakeCCA(cwnd, pacing)
+        self.highest_acked = acked
+        self.next_seq = next_seq
+        self._errors = list(errors)
+
+    def invariant_errors(self):
+        return list(self._errors)
+
+
+class FakeReceiver:
+    def __init__(self, received=8):
+        self.received_packets = received
+
+    def invariant_errors(self):
+        return []
+
+
+class FakeQueue:
+    def __init__(self, drops=0, errors=()):
+        self.drops = drops
+        self._errors = list(errors)
+
+    def invariant_errors(self):
+        return list(self._errors)
+
+
+def make_sentinel(mode="strict", sender=None, receiver=None,
+                  queue=None):
+    sentinel = InvariantSentinel(mode=mode)
+    sentinel.register_flow(sender or FakeSender(),
+                           receiver or FakeReceiver())
+    if queue is not None:
+        sentinel.register_queue(queue)
+    return sentinel
+
+
+class TestModeResolution:
+    def test_default_is_warn(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_mode() == "warn"
+
+    def test_env_var_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "strict")
+        assert resolve_mode() == "strict"
+
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "off")
+        with override_mode("strict"):
+            assert resolve_mode() == "strict"
+        assert resolve_mode() == "off"
+
+    def test_explicit_wins_over_override(self):
+        with override_mode("strict"):
+            assert resolve_mode("off") == "off"
+
+    def test_invalid_modes_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_mode("yolo")
+        with pytest.raises(ValueError):
+            InvariantSentinel(mode="loud")
+        monkeypatch.setenv(ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            resolve_mode()
+
+    def test_override_nests_and_restores(self):
+        with override_mode("off"):
+            with override_mode("strict"):
+                assert resolve_mode() == "strict"
+            assert resolve_mode() == "off"
+
+    def test_cadence_validated(self):
+        with pytest.raises(ValueError):
+            InvariantSentinel(mode="warn", cadence=0)
+
+
+class TestOffMode:
+    def test_registrations_are_noops(self):
+        sentinel = InvariantSentinel(mode="off")
+        sentinel.register_flow(FakeSender(), FakeReceiver())
+        sentinel.register_queue(FakeQueue())
+        assert not sentinel.active
+        assert sentinel._senders == []
+
+    def test_attach_does_not_install(self):
+        sim = FakeSim()
+        InvariantSentinel(mode="off").attach(sim)
+        assert sim.sentinel is None
+
+
+class TestCheckBattery:
+    def test_clean_components_pass(self):
+        sentinel = make_sentinel("strict", queue=FakeQueue())
+        sentinel.check(FakeSim())
+        assert sentinel.violations == []
+        assert sentinel.checks_run == 1
+
+    def test_clock_regression_is_causality(self):
+        sentinel = make_sentinel("strict")
+        sentinel.check(FakeSim(now=2.0))
+        with pytest.raises(InvariantViolation) as excinfo:
+            sentinel.check(FakeSim(now=1.0))
+        assert excinfo.value.kind == "causality"
+        assert "clock" in str(excinfo.value)
+
+    def test_ack_regression_is_causality(self):
+        sender = FakeSender(acked=7)
+        sentinel = make_sentinel("strict", sender=sender)
+        sentinel.check(FakeSim())
+        sender.highest_acked = 3
+        with pytest.raises(InvariantViolation) as excinfo:
+            sentinel.check(FakeSim(now=2.0))
+        assert excinfo.value.kind == "causality"
+
+    def test_ack_of_unsent_seq_is_causality(self):
+        sender = FakeSender(acked=10, next_seq=10)
+        sentinel = make_sentinel("strict", sender=sender)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sentinel.check(FakeSim())
+        assert excinfo.value.kind == "causality"
+
+    def test_nan_cwnd_is_sanity(self):
+        sender = FakeSender(cwnd=float("nan"))
+        sentinel = make_sentinel("strict", sender=sender)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sentinel.check(FakeSim())
+        assert excinfo.value.kind == "sanity"
+
+    def test_inf_cwnd_allowed(self):
+        # Purely rate-based CCAs encode "no window" as inf (see
+        # repro.ccas.base) — the sentinel must not flag them.
+        sender = FakeSender(cwnd=math.inf, pacing=units.mbps(10))
+        sentinel = make_sentinel("strict", sender=sender)
+        sentinel.check(FakeSim())
+        assert sentinel.violations == []
+
+    def test_negative_pacing_is_sanity(self):
+        sender = FakeSender(pacing=-1.0)
+        sentinel = make_sentinel("strict", sender=sender)
+        with pytest.raises(InvariantViolation):
+            sentinel.check(FakeSim())
+
+    def test_packet_balance_is_conservation(self):
+        # More packets received+dropped than sent+duplicated.
+        sender = FakeSender(sent=5)
+        receiver = FakeReceiver(received=9)
+        sentinel = make_sentinel("strict", sender=sender,
+                                 receiver=receiver)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sentinel.check(FakeSim())
+        assert excinfo.value.kind == "conservation"
+        assert "packet" in str(excinfo.value)
+
+    def test_component_errors_forwarded(self):
+        queue = FakeQueue(errors=[("sanity", "backlog",
+                                   "queued_bytes went negative")])
+        sentinel = make_sentinel("strict", queue=queue)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sentinel.check(FakeSim())
+        assert "queued_bytes" in str(excinfo.value)
+
+    def test_strict_details_carry_site_and_time(self):
+        sender = FakeSender(cwnd=-1.0)
+        sentinel = make_sentinel("strict", sender=sender)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sentinel.check(FakeSim(now=3.5))
+        exc = excinfo.value
+        assert exc.sim_time == 3.5
+        assert exc.details["site"] == "sender[0].cwnd"
+        assert "trace_tail" in exc.details
+
+
+class TestWarnMode:
+    def test_warns_once_per_site_and_records(self):
+        sender = FakeSender(cwnd=-1.0)
+        sentinel = make_sentinel("warn", sender=sender)
+        with pytest.warns(InvariantWarning, match="cwnd"):
+            sentinel.check(FakeSim())
+        # The same site stays quiet on later checks but keeps recording.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sentinel.check(FakeSim(now=2.0))
+        assert len(sentinel.violations) == 2
+        assert sentinel.violations[0]["kind"] == "sanity"
+
+    def test_run_continues_after_violation(self):
+        sender = FakeSender(cwnd=-1.0, pacing=-2.0)
+        sentinel = make_sentinel("warn", sender=sender)
+        with pytest.warns(InvariantWarning):
+            sentinel.check(FakeSim())
+        # Both problems were seen in one pass (strict stops at first).
+        sites = {v["site"] for v in sentinel.violations}
+        assert sites == {"sender[0].cwnd", "sender[0].pacing"}
+
+
+class TestScenarioIntegration:
+    LINK = LinkConfig(rate=units.mbps(5))
+
+    def run_flow(self, invariants):
+        from repro.ccas import Vegas
+        return run_scenario_full(
+            self.LINK, [FlowConfig(cca_factory=Vegas,
+                                   rm=units.ms(40))],
+            duration=3.0, warmup=0.5, invariants=invariants)
+
+    def test_clean_run_passes_strict(self):
+        result = self.run_flow("strict")
+        sentinel = result.scenario.sentinel
+        assert sentinel.mode == "strict"
+        assert sentinel.violations == []
+        assert sentinel.checks_run >= 1
+        assert result.stats[0].throughput > 0
+
+    def test_off_mode_detaches(self):
+        result = self.run_flow("off")
+        assert result.scenario.sim.sentinel is None
+
+    def test_sentinel_is_bit_invisible(self):
+        # Attaching the sentinel must not perturb the event stream.
+        stats_off = self.run_flow("off").stats[0]
+        stats_strict = self.run_flow("strict").stats[0]
+        assert stats_strict.throughput == stats_off.throughput
+        assert stats_strict.mean_rtt == stats_off.mean_rtt
+
+    def test_cadence_scales_check_count(self):
+        from repro.ccas import Vegas
+        # Enough events (> DEFAULT_CADENCE) to trigger mid-run checks
+        # on top of the final end-of-run one.
+        result = run_scenario_full(
+            LinkConfig(rate=units.mbps(20)),
+            [FlowConfig(cca_factory=Vegas, rm=units.ms(40))],
+            duration=10.0, warmup=1.0, invariants="strict")
+        sentinel = result.scenario.sentinel
+        assert sentinel.cadence == DEFAULT_CADENCE
+        assert sentinel.checks_run >= 2
+        assert sentinel.violations == []
+
+
+class TestStrictCatchesInjectedCorruption:
+    def test_corrupted_live_state_raises_mid_run(self):
+        # Sabotage a live scenario between engine slices: the next
+        # check (the end-of-run one at minimum) must catch the
+        # poisoned inflight accounting.
+        from repro.ccas import Vegas
+        from repro.sim.network import build_dumbbell
+        scenario = build_dumbbell(
+            LinkConfig(rate=units.mbps(5)),
+            [FlowConfig(cca_factory=Vegas, rm=units.ms(40))],
+            invariants="strict")
+        for flow in scenario.flows:
+            flow.sender.start()
+        scenario.sim.run(1.0)
+        scenario.flows[0].sender.inflight_bytes += 7777
+        with pytest.raises(InvariantViolation) as excinfo:
+            scenario.sim.run(5.0)
+        assert excinfo.value.kind == "conservation"
+        assert "inflight" in str(excinfo.value)

@@ -226,6 +226,28 @@ class TestCatalog:
         catalog.record("k2", "hit")
         assert [e["key"] for e in catalog.entries()] == ["k1", "k2"]
 
+    def test_truncated_trailing_line_sealed_on_next_append(self,
+                                                           tmp_path):
+        # A writer killed mid-append leaves a torn final line with no
+        # trailing newline. The next record() must seal it instead of
+        # welding the new record onto the garbage — only the torn line
+        # may be lost.
+        path = tmp_path / "c.jsonl"
+        catalog = Catalog(str(path))
+        catalog.record("k1", "miss")
+        with open(path, "a") as fh:
+            fh.write('{"key": "torn", "eve')  # no newline: torn write
+        catalog.record("k2", "hit")
+        assert [e["key"] for e in catalog.entries()] == ["k1", "k2"]
+        assert catalog.counts() == {"miss": 1, "hit": 1}
+
+    def test_append_to_empty_file(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.touch()
+        catalog = Catalog(str(path))
+        catalog.record("k1", "miss")
+        assert [e["key"] for e in catalog.entries()] == ["k1"]
+
     def test_missing_file_is_empty(self, tmp_path):
         assert list(Catalog(str(tmp_path / "nope.jsonl")).entries()) == []
         assert Catalog(str(tmp_path / "nope.jsonl")).counts() == {}
