@@ -32,7 +32,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
-from ..errors import ReproError
+from ..errors import ReproError, SweepAbortedError
 
 
 @dataclass
@@ -224,6 +224,17 @@ class ResilientSweep:
             store object was garbage-collected simply re-runs.
         refresh: recompute every point even when cached, overwriting
             store entries (the CLI's ``--force``).
+        max_failures: fail-fast threshold — the number of failed points
+            tolerated before the sweep aborts with a
+            :class:`~repro.errors.SweepAbortedError` (``0`` aborts on
+            the first failure; ``None``, the default, never aborts).
+            A sweep that is mostly quarantining points is usually a
+            broken setup, not a broken scenario; better to stop with a
+            clear error than grind to the end. The checkpoint is
+            flushed before the raise, and failures loaded from a
+            resumed checkpoint count toward the threshold, so a
+            re-invocation without fixing anything aborts immediately
+            instead of burning the grid again.
 
     Example::
 
@@ -249,11 +260,16 @@ class ResilientSweep:
                  backend: Optional[object] = None,
                  store: Optional[object] = None,
                  refresh: bool = False,
-                 crash_dir: Optional[str] = None) -> None:
+                 crash_dir: Optional[str] = None,
+                 max_failures: Optional[int] = None) -> None:
+        if max_failures is not None and max_failures < 0:
+            raise ValueError(
+                f"max_failures must be >= 0, got {max_failures}")
         self.run_point = run_point
         self.budget = budget or RunBudget()
         self.checkpoint_path = checkpoint_path
         self.retry_failures_on_resume = retry_failures_on_resume
+        self.max_failures = max_failures
         self.progress = progress
         if backend is None:
             # Imported here: backends.py imports this module's budget
@@ -417,6 +433,7 @@ class ResilientSweep:
                    if key not in completed and key not in failed_keys]
         resumed = len(points) - len(pending)
         hits = misses = 0
+        self._check_failure_threshold(failures)
         with self._trap_signals():
             for outcome in self.backend.execute(
                     self.run_point, pending, self.budget,
@@ -439,6 +456,11 @@ class ResilientSweep:
                         misses += 1
                         self._note(outcome.key, "ok")
                 self._write_checkpoint(completed, failures, refs)
+                # Fail-fast after the flush: everything that finished
+                # survives for a resume with a fixed setup. Raising
+                # here closes the backend generator, which tears down
+                # any pool workers.
+                self._check_failure_threshold(failures)
                 if self._interrupted is not None:
                     # Exiting the loop closes the backend generator,
                     # which tears down any pool workers.
@@ -450,6 +472,17 @@ class ResilientSweep:
             raise KeyboardInterrupt
         return SweepOutcome(completed=completed, failures=failures,
                             resumed=resumed, hits=hits, misses=misses)
+
+    def _check_failure_threshold(self,
+                                 failures: List[RunFailure]) -> None:
+        if self.max_failures is not None \
+                and len(failures) > self.max_failures:
+            raise SweepAbortedError(
+                f"sweep aborted: {len(failures)} point(s) failed, "
+                f"exceeding max_failures={self.max_failures} "
+                f"(last: {failures[-1].key}: {failures[-1].reason}: "
+                f"{failures[-1].message})",
+                failures=list(failures))
 
     def _migrate_inline_results(self, completed: Dict[str, Any],
                                 refs: Dict[str, str],

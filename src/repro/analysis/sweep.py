@@ -143,7 +143,8 @@ def sweep_rate_delay(cca_factory: CCALike,
                      store: Optional[object] = None,
                      cache_dir: Optional[str] = None,
                      refresh: bool = False,
-                     crash_dir: Optional[str] = None
+                     crash_dir: Optional[str] = None,
+                     max_failures: Optional[int] = None
                      ) -> RateDelayCurve:
     """Measure the equilibrium RTT range across link rates.
 
@@ -189,6 +190,10 @@ def sweep_rate_delay(cca_factory: CCALike,
         crash_dir: directory for reproducible crash bundles — every
             failed grid point captures one there (see
             :mod:`repro.analysis.diagnostics` and ``repro replay``).
+        max_failures: abort the sweep with a
+            :class:`~repro.errors.SweepAbortedError` once more than
+            this many grid points have failed (``0`` = abort on the
+            first failure; ``None`` = never, the default).
     """
     if backend is None:
         backend = make_backend(jobs)
@@ -264,7 +269,8 @@ def sweep_rate_delay(cca_factory: CCALike,
                            checkpoint_path=checkpoint_path,
                            retry_failures_on_resume=retry_failures,
                            backend=backend, store=store, refresh=refresh,
-                           crash_dir=crash_dir)
+                           crash_dir=crash_dir,
+                           max_failures=max_failures)
     outcome = sweep.run(points)
     curve_points = [RateDelayPoint(**outcome.completed[key])
                     for key, _ in points if key in outcome.completed]

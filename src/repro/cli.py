@@ -15,6 +15,8 @@ Installed as the ``repro`` console script::
     repro sweep --cca bbr --rates 0.4,2,10,50 --crash-dir crashes
     repro sweep --cca bbr --rates 0.4,2,10,50 --invariants strict
     repro replay crashes/crash-10mbps-1a2b3c4d.json --strict
+    repro fuzz --seed 1 --iterations 100 --corpus-dir tests/corpus
+    repro fuzz --time-budget 60 --jobs 4 --crash-dir crashes
     repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
     repro theorem 1|2|3
     repro cache stats|ls|gc|verify --cache-dir ~/.repro-cache
@@ -56,7 +58,7 @@ import sys
 from typing import Any, Dict, List, Optional, Tuple
 
 from . import units
-from .errors import ConfigurationError
+from .errors import ConfigurationError, SweepAbortedError
 from .analysis.backends import make_backend
 from .analysis.harness import RunBudget, describe_failures
 from .analysis.report import describe_run, rate_delay_ascii
@@ -400,19 +402,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc))
     grid = [float(x) for x in args.rates.split(",")]
     store = _cache_store(args)
-    curve = sweep_rate_delay(args.cca, grid,
-                             units.ms(args.rm), label=args.cca,
-                             duration=args.duration,
-                             budget=RunBudget(max_events=args.max_events,
-                                              wall_clock=args.wall_clock),
-                             checkpoint_path=args.checkpoint,
-                             retry_failures=args.retry_failures,
-                             backend=make_backend(args.jobs,
-                                                  chunksize=args.chunksize),
-                             seed=args.seed,
-                             template=template, store=store,
-                             refresh=args.force,
-                             crash_dir=args.crash_dir)
+    try:
+        curve = sweep_rate_delay(
+            args.cca, grid,
+            units.ms(args.rm), label=args.cca,
+            duration=args.duration,
+            budget=RunBudget(max_events=args.max_events,
+                             wall_clock=args.wall_clock),
+            checkpoint_path=args.checkpoint,
+            retry_failures=args.retry_failures,
+            backend=make_backend(args.jobs,
+                                 chunksize=args.chunksize),
+            seed=args.seed,
+            template=template, store=store,
+            refresh=args.force,
+            crash_dir=args.crash_dir,
+            max_failures=args.max_failures)
+    except SweepAbortedError as exc:
+        print(f"sweep aborted early (--max-failures "
+              f"{args.max_failures}):")
+        print(describe_failures(exc.failures))
+        if args.checkpoint:
+            print(f"completed points are checkpointed in "
+                  f"{args.checkpoint}; fix the setup and re-invoke "
+                  f"with --retry-failures to resume")
+        return 1
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(curve.to_json(), fh, indent=1, sort_keys=True)
@@ -514,6 +528,41 @@ def cmd_replay(args: argparse.Namespace) -> int:
           if reproduced else
           f"the failure differs from the original ({original})")
     return 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a fuzz campaign: random scenarios through the oracle battery."""
+    from .fuzz import FuzzConfig, describe_space, run_fuzz
+    config = FuzzConfig(max_flows=args.max_flows)
+    budget = RunBudget(max_events=args.max_events, wall_clock=None,
+                       retries=0, backoff=1.0)
+    progress = None
+    if args.verbose:
+        def progress(key: str, status: str) -> None:
+            print(f"  {key}: {status}", file=sys.stderr)
+    print(f"fuzzing {args.iterations} scenario(s), seed {args.seed}: "
+          f"{describe_space(config)}")
+    report = run_fuzz(
+        iterations=args.iterations, seed=args.seed,
+        time_budget=args.time_budget, corpus_dir=args.corpus_dir,
+        jobs=args.jobs, budget=budget, config=config,
+        shrink=not args.no_shrink,
+        differential=not args.no_differential,
+        crash_dir=args.crash_dir, progress=progress)
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if report.fresh:
+        print(f"{len(report.fresh)} fresh finding(s) not in the corpus"
+              + (f" — minimized entries written under "
+                 f"{args.corpus_dir}; commit them (and fix the bugs)"
+                 if args.corpus_dir else
+                 " — re-run with --corpus-dir to file them"))
+        return 1
+    print("no fresh findings")
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -743,6 +792,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-failures", action="store_true",
         help="re-run checkpointed failed points (e.g. after raising "
              "--max-events) instead of keeping their failure records")
+    sweep_parser.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="abort the sweep once more than N grid points have "
+             "failed (0 = abort on the first failure; default: "
+             "never abort, record failures and continue)")
     _add_cache_flags(sweep_parser)
     _add_robustness_flags(sweep_parser)
     _add_profile_flags(sweep_parser)
@@ -794,6 +848,55 @@ def build_parser() -> argparse.ArgumentParser:
              "distinguish a divergent point from one that merely ran "
              "out of headroom (default 1)")
     replay_parser.set_defaults(func=cmd_replay)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="fuzz random scenarios through the invariant/differential "
+             "oracle battery")
+    fuzz_parser.add_argument(
+        "--iterations", type=int, default=50, metavar="N",
+        help="scenarios to generate and test (default 50)")
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=1,
+        help="campaign root seed; iteration i is a pure function of "
+             "(seed, i), so a campaign is fully reproducible "
+             "(default 1)")
+    fuzz_parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop accepting new iterations after this much wall time "
+             "(trades determinism for a bounded run; default: none)")
+    fuzz_parser.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="corpus of minimized findings: known signatures found "
+             "there don't fail the run, fresh findings are minimized "
+             "and written there as regression entries")
+    fuzz_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan iterations out over N self-healing worker processes")
+    fuzz_parser.add_argument(
+        "--crash-dir", default=os.environ.get("REPRO_CRASH_DIR"),
+        metavar="DIR",
+        help="capture a reproducible crash bundle per fresh finding "
+             "('repro replay' re-runs it; default: $REPRO_CRASH_DIR)")
+    fuzz_parser.add_argument(
+        "--max-events", type=int, default=2_000_000,
+        help="per-iteration engine event budget (default 2M)")
+    fuzz_parser.add_argument(
+        "--max-flows", type=int, default=16,
+        help="most flows a generated scenario may have (default 16)")
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="file fresh findings unminimized (faster, bigger specs)")
+    fuzz_parser.add_argument(
+        "--no-differential", action="store_true",
+        help="skip the serial-vs-pool battery identity cross-check")
+    fuzz_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full campaign report as JSON")
+    fuzz_parser.add_argument(
+        "--verbose", action="store_true",
+        help="print per-iteration progress to stderr")
+    fuzz_parser.set_defaults(func=cmd_fuzz)
 
     theorem_parser = sub.add_parser(
         "theorem", help="run a theorem construction on the fluid model")

@@ -15,6 +15,39 @@ class ConfigurationError(ReproError):
     """A scenario, topology, or CCA was configured with invalid parameters."""
 
 
+class SpecValidationError(ConfigurationError):
+    """A declarative spec carried a non-finite or out-of-range value.
+
+    Raised by the :mod:`repro.spec` constructors (and therefore by
+    every ``from_json`` path) when a rate, delay, or duration is NaN,
+    infinite, negative, or not a number at all. Failing at spec
+    construction — instead of building a simulation that misbehaves
+    mid-run — is what lets the scenario fuzzer treat "valid spec" as
+    a guarantee of "clean run": anything the validators accept must
+    either run to completion or expose a real simulator bug.
+    """
+
+
+class SweepAbortedError(ReproError):
+    """A resilient sweep hit its ``max_failures`` fail-fast threshold.
+
+    Raised by :class:`repro.analysis.harness.ResilientSweep` when more
+    grid points have failed than the configured threshold allows — a
+    sweep that is mostly quarantining points is better stopped with a
+    clear error than ground to the end. The checkpoint is flushed
+    before the raise, so every completed point and failure record
+    survives for a resume with a fixed setup.
+
+    Attributes:
+        failures: the :class:`~repro.analysis.harness.RunFailure`
+            records accumulated when the threshold tripped.
+    """
+
+    def __init__(self, message: str, failures: list | None = None) -> None:
+        super().__init__(message)
+        self.failures = failures if failures is not None else []
+
+
 class SimulationError(ReproError):
     """The simulator reached an internally inconsistent state."""
 

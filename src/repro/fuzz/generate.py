@@ -1,0 +1,217 @@
+"""Seeded, bounded ScenarioSpec generation for the fuzz loop.
+
+The generator samples *valid-by-construction* scenarios: every
+parameter is drawn from a range the spec validators and the element
+catalog accept, so ``generate_spec`` never raises and the oracle
+battery (:mod:`repro.fuzz.oracles`) can treat any failure downstream
+as a real finding — "valid spec ⇒ clean run" is the contract the
+input hardening in :mod:`repro.spec` exists to uphold.
+
+Reproducibility: one root seed determines the whole campaign. Iteration
+``i`` draws from ``random.Random(derive_seed(root, "fuzz", i))`` and
+the generated scenario's own root seed is
+``derive_seed(root, "fuzz", i, "scenario")``, so regenerating iteration
+``i`` never requires replaying iterations ``0..i-1`` — the shrinker and
+the corpus both rely on that. All floats are rounded to a few decimals
+so specs serialize compactly and diff cleanly in corpus files.
+
+The sampled space deliberately matches where the paper's starvation
+results live: any registered CCA, 1-16 competing flows, mixed RTTs,
+staggered starts, ACK-path jitter regimes (constant, aggregation,
+first-packet-exempt poisoning, square wave), and scripted fault windows
+(blackouts, flapping, bursty loss, reordering, duplication,
+corruption) — in short durations so a campaign of hundreds of
+iterations stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Iterator, List, Optional, Tuple
+
+from .. import units
+from ..ccas import registry
+from ..spec import (CCASpec, ElementSpec, FaultScheduleSpec,
+                    FaultWindowSpec, FlowSpec, LinkSpec, ScenarioSpec)
+from ..spec.seeds import derive_seed
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Bounds of the sampled scenario space.
+
+    The defaults keep individual runs short (1-3 simulated seconds,
+    single-digit Mbit/s) while still reaching every registered CCA and
+    every element/fault kind the catalog considers safe to randomize.
+    """
+
+    max_flows: int = 16
+    min_duration: float = 1.0
+    max_duration: float = 3.0
+    min_rate_mbps: float = 1.0
+    max_rate_mbps: float = 20.0
+    min_rm: float = 0.005
+    max_rm: float = 0.1
+    #: Probability that a flow carries an ACK-path element / a fault
+    #: schedule, and that the link carries a fault schedule.
+    ack_element_prob: float = 0.35
+    data_element_prob: float = 0.15
+    flow_fault_prob: float = 0.25
+    link_fault_prob: float = 0.2
+    #: Restrict CCAs (None = every registered name).
+    ccas: Optional[Tuple[str, ...]] = None
+
+
+DEFAULT_CONFIG = FuzzConfig()
+
+
+def _round(value: float, digits: int = 4) -> float:
+    return round(float(value), digits)
+
+
+def _flow_count(rng: Random, config: FuzzConfig) -> int:
+    """1..max_flows, weighted toward small scenarios.
+
+    min() of two uniform draws gives a triangular distribution: most
+    scenarios stay at 1-4 flows (fast, and where shrunk counterexamples
+    end up anyway) while the tail still reaches ``max_flows``.
+    """
+    a = rng.randrange(config.max_flows)
+    b = rng.randrange(config.max_flows)
+    return 1 + min(a, b)
+
+
+def _ack_element(rng: Random) -> ElementSpec:
+    kind = rng.choice(["constant_jitter", "ack_aggregation",
+                       "exempt_first_jitter", "square_wave_jitter"])
+    if kind == "constant_jitter":
+        return ElementSpec(kind, {"eta": _round(rng.uniform(0.0, 0.01))})
+    if kind == "ack_aggregation":
+        return ElementSpec(kind,
+                           {"period": _round(rng.uniform(0.002, 0.02))})
+    if kind == "exempt_first_jitter":
+        return ElementSpec(kind, {
+            "eta": _round(rng.uniform(0.0005, 0.005)),
+            "exempt_seqs": [0]})
+    return ElementSpec(kind, {
+        "high": _round(rng.uniform(0.001, 0.01)),
+        "period": _round(rng.uniform(0.05, 0.5)),
+        "duty": _round(rng.uniform(0.1, 0.9), 2)})
+
+
+def _fault_windows(rng: Random,
+                   duration: float) -> Tuple[FaultWindowSpec, ...]:
+    """One scripted impairment window, bounded within the run."""
+    kind = rng.choice(["blackout", "flap", "gilbert_elliott", "reorder",
+                       "duplicate", "corrupt"])
+    start = _round(rng.uniform(0.0, duration * 0.6), 3)
+    end = _round(min(duration,
+                     start + rng.uniform(0.05, duration * 0.5)), 3)
+    if end <= start:
+        end = _round(start + 0.05, 3)
+    if kind == "blackout":
+        # Long total outages starve every flow trivially; keep them
+        # short relative to the run so recovery is part of the test.
+        end = _round(min(end, start + 0.3), 3)
+        return (FaultWindowSpec(kind, start, end),)
+    if kind == "flap":
+        period = _round(rng.uniform(0.2, 1.0), 3)
+        down = _round(period * rng.uniform(0.1, 0.5), 4)
+        return (FaultWindowSpec(kind, start, end,
+                                {"period": period, "down_time": down}),)
+    if kind == "gilbert_elliott":
+        return (FaultWindowSpec(kind, start, end,
+                                {"mean_loss":
+                                 _round(rng.uniform(0.005, 0.1))}),)
+    if kind == "reorder":
+        return (FaultWindowSpec(kind, start, end, {
+            "prob": _round(rng.uniform(0.01, 0.2)),
+            "extra_delay": _round(rng.uniform(0.001, 0.02))}),)
+    prob = _round(rng.uniform(0.01, 0.1))
+    return (FaultWindowSpec(kind, start, end, {"prob": prob}),)
+
+
+def _flow(rng: Random, config: FuzzConfig, duration: float,
+          ccas: Tuple[str, ...]) -> FlowSpec:
+    cca = rng.choice(list(ccas))
+    rm = _round(rng.uniform(config.min_rm, config.max_rm))
+    start_time = 0.0
+    if rng.random() < 0.5:
+        start_time = _round(rng.uniform(0.0, duration * 0.3), 3)
+    ack_every = 1
+    ack_timeout = None
+    if rng.random() < 0.15:
+        ack_every = rng.randint(2, 4)
+        ack_timeout = _round(rng.uniform(0.02, 0.2), 3)
+    burst_size = rng.randint(2, 4) if rng.random() < 0.1 else 1
+    ack_elements: Tuple[ElementSpec, ...] = ()
+    if rng.random() < config.ack_element_prob:
+        ack_elements = (_ack_element(rng),)
+    data_elements: Tuple[ElementSpec, ...] = ()
+    if rng.random() < config.data_element_prob:
+        data_elements = (ElementSpec(
+            "constant_jitter", {"eta": _round(rng.uniform(0.0, 0.005))}),)
+    faults = None
+    if rng.random() < config.flow_fault_prob:
+        faults = FaultScheduleSpec(windows=_fault_windows(rng, duration))
+    return FlowSpec(cca=CCASpec(cca), rm=rm, start_time=start_time,
+                    data_elements=data_elements,
+                    ack_elements=ack_elements, ack_every=ack_every,
+                    ack_timeout=ack_timeout, burst_size=burst_size,
+                    faults=faults)
+
+
+def generate_spec(root_seed: int, index: int,
+                  config: Optional[FuzzConfig] = None) -> ScenarioSpec:
+    """Sample fuzz iteration ``index`` of the campaign ``root_seed``.
+
+    Pure function of ``(root_seed, index, config)``: the same triple
+    always yields the same spec, in any process, regardless of what
+    other iterations ran.
+    """
+    config = config or DEFAULT_CONFIG
+    rng = Random(derive_seed(root_seed, "fuzz", index))
+    ccas = config.ccas or tuple(registry.names())
+    duration = _round(rng.uniform(config.min_duration,
+                                  config.max_duration), 2)
+    warmup = _round(duration * 0.25, 2)
+    flows = tuple(_flow(rng, config, duration, ccas)
+                  for _ in range(_flow_count(rng, config)))
+    buffer_bdp = None
+    if rng.random() < 0.5:
+        buffer_bdp = _round(rng.uniform(0.5, 8.0), 2)
+    rate = units.mbps(_round(rng.uniform(config.min_rate_mbps,
+                                         config.max_rate_mbps), 2))
+    ecn = None
+    if rng.random() < 0.1:
+        # Around a fraction of a small-BDP queue so marking actually
+        # happens at these rates.
+        ecn = _round(rng.uniform(10_000.0, 60_000.0), 0)
+    faults = None
+    if rng.random() < config.link_fault_prob:
+        faults = FaultScheduleSpec(windows=_fault_windows(rng, duration))
+    link = LinkSpec(rate=rate, buffer_bdp=buffer_bdp,
+                    ecn_threshold_bytes=ecn, faults=faults)
+    return ScenarioSpec(
+        link=link, flows=flows,
+        seed=derive_seed(root_seed, "fuzz", index, "scenario"),
+        duration=duration, warmup=warmup)
+
+
+def generate_specs(root_seed: int, count: int,
+                   config: Optional[FuzzConfig] = None
+                   ) -> Iterator[Tuple[int, ScenarioSpec]]:
+    """``(index, spec)`` pairs for iterations ``0..count-1``."""
+    for index in range(count):
+        yield index, generate_spec(root_seed, index, config)
+
+
+def describe_space(config: Optional[FuzzConfig] = None) -> str:
+    """One-line summary of the sampled space (for CLI banners)."""
+    config = config or DEFAULT_CONFIG
+    ccas = config.ccas or tuple(registry.names())
+    return (f"{len(ccas)} CCAs x 1-{config.max_flows} flows, "
+            f"{config.min_rate_mbps:g}-{config.max_rate_mbps:g} Mbit/s, "
+            f"Rm {config.min_rm * 1e3:g}-{config.max_rm * 1e3:g} ms, "
+            f"{config.min_duration:g}-{config.max_duration:g} s runs")

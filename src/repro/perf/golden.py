@@ -83,10 +83,13 @@ def _series(values: Iterable[Any]) -> List[float]:
     return [float("nan") if v is None else float(v) for v in values]
 
 
-def capture_run(spec: ScenarioSpec, duration: float,
-                warmup: float) -> Dict[str, str]:
-    """Digests of one scenario run: raw traces + summary."""
-    result = spec.run(duration=duration, warmup=warmup)
+def run_digests(result: Any) -> Dict[str, str]:
+    """Trace and summary digests of a finished run.
+
+    Shared by the golden battery and the fuzz oracle's run-twice
+    determinism / backend-identity checks: two runs (or two backends)
+    given the same spec must produce identical digests.
+    """
     traces: Dict[str, Any] = {}
     for flow in result.scenario.flows:
         rec = flow.recorder
@@ -109,6 +112,12 @@ def capture_run(spec: ScenarioSpec, duration: float,
         "traces": digest(traces),
         "summary": digest(summarize_run(result)),
     }
+
+
+def capture_run(spec: ScenarioSpec, duration: float,
+                warmup: float) -> Dict[str, str]:
+    """Digests of one scenario run: raw traces + summary."""
+    return run_digests(spec.run(duration=duration, warmup=warmup))
 
 
 def _single(cca: str, seed: int = 5, **flow_kwargs: Any) -> ScenarioSpec:

@@ -21,10 +21,11 @@ construction, so a spec that travelled through ``json.dumps`` /
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SpecValidationError
 from ..sim.faults import FaultSchedule
 from ..sim.jitter import (AckAggregationJitter, ConstantJitter,
                           ExemptFirstJitter, NoJitter, SquareWaveJitter,
@@ -143,8 +144,31 @@ class FaultWindowSpec:
             raise ConfigurationError(
                 f"unknown fault kind {self.kind!r}; known: "
                 f"{', '.join(FAULT_KINDS)}")
-        object.__setattr__(self, "start", float(self.start))
-        object.__setattr__(self, "end", float(self.end))
+        try:
+            start = float(self.start)
+            end = float(self.end)
+        except (TypeError, ValueError):
+            raise SpecValidationError(
+                f"fault window start/end must be numbers, got "
+                f"{self.start!r}/{self.end!r}")
+        # A NaN endpoint makes the window silently never (or always)
+        # active — comparisons with NaN are all False — so reject it
+        # here rather than debugging a fault that "didn't happen".
+        # ``end = inf`` is the documented always-on horizon and stays
+        # legal; an infinite *start* can never activate.
+        if math.isnan(start) or math.isnan(end) or math.isinf(start):
+            raise SpecValidationError(
+                f"fault window start/end must be finite (end may be "
+                f"inf), got [{start!r}, {end!r})")
+        if start < 0:
+            raise SpecValidationError(
+                f"fault window start must be >= 0, got {start!r}")
+        if end < start:
+            raise SpecValidationError(
+                f"fault window end ({end!r}) precedes its start "
+                f"({start!r})")
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
         object.__setattr__(self, "params", _normalize(self.params))
 
     def to_json(self) -> Dict[str, Any]:

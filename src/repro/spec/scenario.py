@@ -31,11 +31,12 @@ fault schedule always overrides the derived one.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..ccas import registry
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SpecValidationError
 from ..sim.network import (FlowConfig, LinkConfig, Scenario,
                            build_dumbbell)
 from ..sim.runner import RunResult, run_scenario_full
@@ -43,6 +44,34 @@ from .elements import ElementSpec, FaultScheduleSpec, _normalize
 from .seeds import derive_seed
 
 SPEC_VERSION = 1
+
+
+def _check_number(name: str, value: Any, *, positive: bool = False,
+                  allow_none: bool = False) -> None:
+    """Reject NaN/Inf/non-numeric (and optionally non-positive) values.
+
+    Every ``FlowSpec``/``LinkSpec``/``ScenarioSpec`` field that feeds a
+    rate, delay, or duration goes through here, so a malformed spec —
+    hand-written JSON, a buggy generator, a corrupted file — fails at
+    construction with a typed :class:`SpecValidationError` instead of
+    building a simulation that silently misbehaves mid-run. Note that
+    naive ``value <= 0`` comparisons let NaN through (every comparison
+    with NaN is False), which is exactly the hole this closes.
+    """
+    if value is None:
+        if allow_none:
+            return
+        raise SpecValidationError(f"{name} must be a number, got None")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecValidationError(
+            f"{name} must be a number, got {value!r}")
+    if math.isnan(value) or math.isinf(value):
+        raise SpecValidationError(
+            f"{name} must be finite, got {value!r}")
+    if positive and value <= 0:
+        raise SpecValidationError(f"{name} must be > 0, got {value!r}")
+    elif not positive and value < 0:
+        raise SpecValidationError(f"{name} must be >= 0, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -94,13 +123,24 @@ class FlowSpec:
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.rm <= 0:
-            raise ConfigurationError(f"rm must be > 0, got {self.rm}")
-        if self.mss <= 0:
-            raise ConfigurationError(f"mss must be > 0, got {self.mss}")
-        if self.start_time < 0:
-            raise ConfigurationError(
-                f"start_time must be >= 0, got {self.start_time}")
+        _check_number("rm", self.rm, positive=True)
+        _check_number("start_time", self.start_time)
+        _check_number("ack_timeout", self.ack_timeout, positive=True,
+                      allow_none=True)
+        if isinstance(self.mss, bool) or not isinstance(self.mss, int) \
+                or self.mss <= 0:
+            raise SpecValidationError(
+                f"mss must be a positive int, got {self.mss!r}")
+        if isinstance(self.ack_every, bool) \
+                or not isinstance(self.ack_every, int) \
+                or self.ack_every < 1:
+            raise SpecValidationError(
+                f"ack_every must be an int >= 1, got {self.ack_every!r}")
+        if isinstance(self.burst_size, bool) \
+                or not isinstance(self.burst_size, int) \
+                or self.burst_size < 1:
+            raise SpecValidationError(
+                f"burst_size must be an int >= 1, got {self.burst_size!r}")
         object.__setattr__(self, "data_elements",
                            tuple(self.data_elements))
         object.__setattr__(self, "ack_elements",
@@ -155,9 +195,11 @@ class LinkSpec:
     faults: Optional[FaultScheduleSpec] = None
 
     def __post_init__(self) -> None:
-        if self.rate <= 0:
-            raise ConfigurationError(
-                f"link rate must be > 0 bytes/s, got {self.rate}")
+        _check_number("link rate", self.rate, positive=True)
+        _check_number("buffer_bytes", self.buffer_bytes, allow_none=True)
+        _check_number("buffer_bdp", self.buffer_bdp, allow_none=True)
+        _check_number("ecn_threshold_bytes", self.ecn_threshold_bytes,
+                      positive=True, allow_none=True)
         if self.buffer_bytes is not None and self.buffer_bdp is not None:
             raise ConfigurationError(
                 "specify buffer_bytes or buffer_bdp, not both")
@@ -206,6 +248,19 @@ class ScenarioSpec:
         object.__setattr__(self, "flows", tuple(self.flows))
         if not self.flows:
             raise ConfigurationError("scenario needs at least one flow")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise SpecValidationError(
+                f"seed must be an int, got {self.seed!r}")
+        _check_number("duration", self.duration, positive=True,
+                      allow_none=True)
+        _check_number("warmup", self.warmup, allow_none=True)
+        _check_number("sample_interval", self.sample_interval,
+                      positive=True, allow_none=True)
+        if self.duration is not None and self.warmup is not None \
+                and self.warmup >= self.duration:
+            raise SpecValidationError(
+                f"warmup ({self.warmup}) must be shorter than the "
+                f"duration ({self.duration})")
 
     # ------------------------------------------------------------------
     # Build layer
@@ -247,7 +302,8 @@ class ScenarioSpec:
             fault_schedule=link_faults)
         return link_config, flow_configs
 
-    def build(self, sample_interval: Optional[float] = None) -> Scenario:
+    def build(self, sample_interval: Optional[float] = None,
+              invariants: Optional[str] = None) -> Scenario:
         """Produce the live :class:`Scenario` (build layer output)."""
         link, flows = self.to_configs()
         interval = sample_interval
@@ -255,14 +311,23 @@ class ScenarioSpec:
             interval = self.sample_interval
         if interval is None:
             interval = 0.05
-        return build_dumbbell(link, flows, sample_interval=interval)
+        return build_dumbbell(link, flows, sample_interval=interval,
+                              invariants=invariants)
 
     def run(self, duration: Optional[float] = None,
             warmup: Optional[float] = None,
             sample_interval: Optional[float] = None,
             max_events: Optional[int] = None,
-            wall_clock_budget: Optional[float] = None) -> RunResult:
-        """Build and run; arguments override the spec's embedded values."""
+            wall_clock_budget: Optional[float] = None,
+            invariants: Optional[str] = None) -> RunResult:
+        """Build and run; arguments override the spec's embedded values.
+
+        ``invariants`` selects the runtime sentinel mode for this run
+        (``off``/``warn``/``strict``; ``None`` resolves from the
+        environment as usual) — the fuzz oracle battery passes
+        ``"strict"`` explicitly so pool workers behave identically to
+        in-process runs regardless of inherited environment.
+        """
         run_duration = duration if duration is not None else self.duration
         if run_duration is None:
             raise ConfigurationError(
@@ -276,7 +341,7 @@ class ScenarioSpec:
         return run_scenario_full(
             link, flows, duration=run_duration, warmup=run_warmup,
             sample_interval=interval, max_events=max_events,
-            wall_clock_budget=wall_clock_budget)
+            wall_clock_budget=wall_clock_budget, invariants=invariants)
 
     # ------------------------------------------------------------------
     # Serialization

@@ -231,3 +231,96 @@ class TestCommands:
     def test_starve_choices_cover_section5(self):
         assert {"copa", "bbr", "vivace", "allegro"} <= set(
             STARVE_SCENARIOS)
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main(["fuzz", "--iterations", "2", "--seed", "1",
+                     "--no-differential"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzzing 2 scenario(s), seed 1" in out
+        assert "no fresh findings" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(["fuzz", "--iterations", "2", "--no-differential",
+                     "--json", str(report_path)])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["executed"] == 2
+        assert report["findings"] == []
+
+    def test_fresh_finding_fails_and_files_corpus(self, tmp_path,
+                                                  monkeypatch, capsys):
+        # Inject the packet-balance accounting bug; the campaign must
+        # exit non-zero and file a minimized corpus entry.
+        from repro.sim.host import Receiver
+        original = Receiver.receive
+
+        def double_count(self, packet, now):
+            original(self, packet, now)
+            self.received_packets += 1
+
+        monkeypatch.setattr(Receiver, "receive", double_count)
+        corpus = tmp_path / "corpus"
+        code = main(["fuzz", "--iterations", "1", "--seed", "1",
+                     "--no-differential", "--max-flows", "4",
+                     "--corpus-dir", str(corpus)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "invariant:conservation:scenario.packet_balance" in out
+        assert "fresh finding(s) not in the corpus" in out
+        entries = list(corpus.glob("fuzz-*.json"))
+        assert len(entries) == 1
+        # A second campaign recognizes the filed signature as known.
+        code = main(["fuzz", "--iterations", "1", "--seed", "1",
+                     "--no-differential", "--max-flows", "4",
+                     "--corpus-dir", str(corpus)])
+        assert code == 0
+        assert "[known]" in capsys.readouterr().out
+
+    def test_replay_reproduces_fuzz_bundle(self, tmp_path, capsys):
+        # A fuzz finding captured as a crash bundle replays through
+        # the stock `repro replay` command to the same signature.
+        from repro.analysis.backends import execute_point
+        from repro.analysis.harness import RunBudget
+        from repro.fuzz import (battery_params, fuzz_battery_point,
+                                generate_spec)
+        params = dict(battery_params(generate_spec(1, 0),
+                                     determinism=False))
+        params["raise_on_finding"] = "budget:events:engine"
+        tight = RunBudget(max_events=2_000, wall_clock=None, retries=0)
+        outcome = execute_point(fuzz_battery_point, "fuzz-0000",
+                                params, tight, backend_name="fuzz",
+                                crash_dir=str(tmp_path))
+        assert outcome.failure.reason == "OracleFailure"
+        code = main(["replay", outcome.failure.bundle])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "OracleFailure" in out
+        assert "budget:events:engine" in out
+        assert "reproduces deterministically" in out
+
+
+class TestSweepMaxFailures:
+    def test_abort_exits_nonzero_with_summary(self, tmp_path, capsys):
+        # A 200-event budget fails every point; --max-failures 0
+        # aborts on the first one.
+        checkpoint = tmp_path / "ck.json"
+        code = main(["sweep", "--cca", "vegas", "--rates", "2,10",
+                     "--rm", "40", "--duration", "5",
+                     "--max-events", "200", "--max-failures", "0",
+                     "--checkpoint", str(checkpoint)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "sweep aborted early (--max-failures 0)" in out
+        assert "BudgetExceededError" in out
+        assert "checkpointed" in out
+
+    def test_within_threshold_completes(self, capsys):
+        code = main(["sweep", "--cca", "vegas", "--rates", "2,10",
+                     "--rm", "40", "--duration", "5",
+                     "--max-failures", "2"])
+        assert code == 0
+        assert "delta_max" in capsys.readouterr().out

@@ -1,0 +1,44 @@
+"""Replay every committed fuzz-corpus entry as a regression test.
+
+Each file in ``tests/corpus/`` is one minimized fuzz finding
+(see :mod:`repro.fuzz.corpus`). ``"expected"`` entries assert a known
+bug still reproduces; ``"fixed"`` entries assert a once-found bug
+stays gone. ``repro fuzz --corpus-dir tests/corpus`` files new
+findings here automatically; commit them (and later flip their status
+to ``"fixed"``) to grow this suite.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import check_entry, load_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ENTRIES = load_corpus(CORPUS_DIR)
+
+#: Matches the fuzz driver's default per-iteration engine budget.
+MAX_EVENTS = 2_000_000
+
+
+def test_seed_corpus_is_committed():
+    # The issue requires a seeded corpus; an empty directory means the
+    # entries were deleted, not that there is nothing to check.
+    assert len(ENTRIES) >= 3
+
+
+@pytest.mark.parametrize(
+    "path, entry", ENTRIES,
+    ids=[os.path.basename(path) for path, _ in ENTRIES])
+def test_corpus_entry_replays(path, entry):
+    ok, message = check_entry(entry, max_events=MAX_EVENTS)
+    assert ok, f"{os.path.basename(path)}: {message}"
+
+
+@pytest.mark.parametrize(
+    "path, entry", ENTRIES,
+    ids=[os.path.basename(path) for path, _ in ENTRIES])
+def test_corpus_entry_filename_matches_content(path, entry):
+    # Filenames are content-derived; a hand-edited scenario must be
+    # re-filed under its new name or dedup silently breaks.
+    assert os.path.basename(path) == entry.filename

@@ -356,3 +356,85 @@ class TestRecoverableSet:
 
         with pytest.raises(OverflowError):
             run_with_retry(overflows, RunBudget(retries=0))
+
+
+class TestMaxFailures:
+    """The fail-fast threshold: abort a sweep drowning in failures."""
+
+    BUDGET = RunBudget(max_events=50_000, wall_clock=30.0, retries=0)
+
+    def grid(self, *behaviors):
+        return [(f"p{i}", {"rate_mbps": 2.0, **behavior})
+                for i, behavior in enumerate(behaviors)]
+
+    def test_abort_once_threshold_exceeded(self, tmp_path):
+        from repro.errors import SweepAbortedError
+        checkpoint = str(tmp_path / "ck.json")
+        grid = self.grid({}, {"livelock": True}, {"livelock": True},
+                         {})
+        sweep = ResilientSweep(dispatch_point, budget=self.BUDGET,
+                               checkpoint_path=checkpoint,
+                               max_failures=1)
+        with pytest.raises(SweepAbortedError, match="max_failures=1"):
+            sweep.run(grid)
+        # The checkpoint was flushed before the raise: the completed
+        # prefix and both failure records survive for a resume.
+        with open(checkpoint) as fh:
+            saved = json.load(fh)
+        assert "p0" in saved["completed"]
+        assert [f["key"] for f in saved["failures"]] == ["p1", "p2"]
+
+    def test_abort_error_carries_failures(self):
+        from repro.errors import SweepAbortedError
+        sweep = ResilientSweep(dispatch_point, budget=self.BUDGET,
+                               max_failures=0)
+        with pytest.raises(SweepAbortedError) as info:
+            sweep.run(self.grid({"livelock": True}, {}))
+        assert [f.key for f in info.value.failures] == ["p0"]
+        assert info.value.failures[0].reason == "BudgetExceededError"
+
+    def test_default_never_aborts(self):
+        outcome = ResilientSweep(dispatch_point, budget=self.BUDGET) \
+            .run(self.grid({"livelock": True}, {}))
+        assert [f.key for f in outcome.failures] == ["p0"]
+        assert set(outcome.completed) == {"p1"}
+
+    def test_threshold_equal_to_failures_does_not_abort(self):
+        outcome = ResilientSweep(dispatch_point, budget=self.BUDGET,
+                                 max_failures=1) \
+            .run(self.grid({"livelock": True}, {}))
+        assert len(outcome.failures) == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="max_failures"):
+            ResilientSweep(dispatch_point, max_failures=-1)
+
+    def test_resume_counts_checkpointed_failures(self, tmp_path):
+        from repro.errors import SweepAbortedError
+        checkpoint = str(tmp_path / "ck.json")
+        grid = self.grid({"livelock": True}, {})
+        ResilientSweep(dispatch_point, budget=self.BUDGET,
+                       checkpoint_path=checkpoint).run(grid)
+        # Resuming under a now-exceeded threshold aborts before
+        # re-running anything.
+        calls = []
+
+        def counting_point(params, budget):
+            calls.append(params)
+            return dispatch_point(params, budget)
+
+        sweep = ResilientSweep(counting_point, budget=self.BUDGET,
+                               checkpoint_path=checkpoint,
+                               max_failures=0)
+        with pytest.raises(SweepAbortedError):
+            sweep.run(grid)
+        assert calls == []
+
+    def test_sweep_rate_delay_forwards_max_failures(self):
+        from repro.errors import SweepAbortedError
+        with pytest.raises(SweepAbortedError):
+            sweep_rate_delay(Vegas, [2.0, 10.0], rm=units.ms(40),
+                             duration=5.0,
+                             budget=RunBudget(max_events=200,
+                                              retries=0),
+                             max_failures=0)

@@ -316,3 +316,107 @@ class TestSpecProperties:
         a = derive_seed(root, *path)
         assert a == derive_seed(root, *path)
         assert 0 <= a < 2 ** 63
+
+
+class TestSpecInputHardening:
+    """NaN/Inf/negative inputs fail at construction, not mid-sim.
+
+    Naive ``x <= 0`` guards let NaN through (every NaN comparison is
+    False); the validators close that hole with a typed
+    :class:`~repro.errors.SpecValidationError`, which subclasses
+    ConfigurationError so existing callers keep catching it.
+    """
+
+    NAN = float("nan")
+    INF = float("inf")
+
+    def test_spec_validation_error_is_configuration_error(self):
+        from repro.errors import SpecValidationError
+        assert issubclass(SpecValidationError, ConfigurationError)
+
+    @pytest.mark.parametrize("rm", [NAN, INF, -INF, 0.0, -0.04,
+                                    None, "fast", True])
+    def test_flow_rm_rejected(self, rm):
+        from repro.errors import SpecValidationError
+        with pytest.raises(SpecValidationError):
+            FlowSpec(cca=CCASpec("vegas"), rm=rm)
+
+    @pytest.mark.parametrize("start", [NAN, -1.0, INF])
+    def test_flow_start_time_rejected(self, start):
+        from repro.errors import SpecValidationError
+        with pytest.raises(SpecValidationError):
+            FlowSpec(cca=CCASpec("vegas"), rm=RM, start_time=start)
+
+    @pytest.mark.parametrize("field, value", [
+        ("mss", 0), ("mss", -1500), ("mss", 1500.0), ("mss", True),
+        ("ack_every", 0), ("burst_size", 0), ("ack_timeout", NAN),
+        ("ack_timeout", 0.0),
+    ])
+    def test_flow_int_fields_rejected(self, field, value):
+        from repro.errors import SpecValidationError
+        with pytest.raises(SpecValidationError):
+            FlowSpec(cca=CCASpec("vegas"), rm=RM, **{field: value})
+
+    @pytest.mark.parametrize("rate", [NAN, INF, 0.0, -1e6, None])
+    def test_link_rate_rejected(self, rate):
+        from repro.errors import SpecValidationError
+        with pytest.raises(SpecValidationError):
+            LinkSpec(rate=rate)
+
+    @pytest.mark.parametrize("field, value", [
+        ("buffer_bytes", NAN), ("buffer_bytes", -1.0),
+        ("buffer_bdp", INF), ("ecn_threshold_bytes", 0.0),
+    ])
+    def test_link_optional_fields_rejected(self, field, value):
+        from repro.errors import SpecValidationError
+        with pytest.raises(SpecValidationError):
+            LinkSpec(rate=units.mbps(10), **{field: value})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"duration": NAN}, {"duration": 0.0}, {"duration": INF},
+        {"warmup": NAN}, {"warmup": -1.0},
+        {"duration": 2.0, "warmup": 2.0},     # warmup >= duration
+        {"sample_interval": 0.0}, {"seed": 1.5}, {"seed": True},
+    ])
+    def test_scenario_fields_rejected(self, kwargs):
+        from repro.errors import SpecValidationError
+        flow = FlowSpec(cca=CCASpec("vegas"), rm=RM)
+        with pytest.raises(SpecValidationError):
+            ScenarioSpec(link=LinkSpec(rate=units.mbps(10)),
+                         flows=(flow,), **kwargs)
+
+    @pytest.mark.parametrize("start, end", [
+        (NAN, 2.0), (1.0, NAN), (float("inf"), 3.0), (-1.0, 2.0),
+        (3.0, 1.0),
+    ])
+    def test_fault_window_endpoints_rejected(self, start, end):
+        from repro.errors import SpecValidationError
+        with pytest.raises(SpecValidationError):
+            FaultWindowSpec(kind="blackout", start=start, end=end)
+
+    def test_fault_window_infinite_end_stays_legal(self):
+        window = FaultWindowSpec(kind="blackout", start=1.0,
+                                 end=float("inf"))
+        assert window.end == float("inf")
+
+    def test_malformed_json_fails_at_from_json(self):
+        # The same validators run on the from_json path, so a corrupted
+        # spec file cannot smuggle a NaN past construction.
+        from repro.errors import SpecValidationError
+        flow = FlowSpec(cca=CCASpec("vegas"), rm=RM)
+        spec = ScenarioSpec(link=LinkSpec(rate=units.mbps(10)),
+                            flows=(flow,), duration=2.0)
+        data = spec.to_json()
+        data["link"]["rate"] = float("nan")
+        with pytest.raises(SpecValidationError):
+            ScenarioSpec.from_json(data)
+        data = spec.to_json()
+        data["flows"][0]["rm"] = -0.04
+        with pytest.raises(SpecValidationError):
+            ScenarioSpec.from_json(data)
+
+    def test_valid_spec_still_constructs(self):
+        flow = FlowSpec(cca=CCASpec("vegas"), rm=RM)
+        spec = ScenarioSpec(link=LinkSpec(rate=units.mbps(10)),
+                            flows=(flow,), duration=2.0, warmup=0.5)
+        assert ScenarioSpec.loads(spec.dumps()) == spec
