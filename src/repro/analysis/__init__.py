@@ -2,6 +2,8 @@
 
 from .backends import (PointOutcome, ProcessPoolBackend, SerialBackend,
                        execute_point, make_backend)
+from .competition import (CompetitionMatrix, competition_matrix,
+                          run_competition_point)
 from .diagnostics import (load_bundle, replay_bundle, write_crash_bundle)
 from .harness import (ResilientSweep, RunBudget, RunFailure, SweepOutcome,
                       describe_failures, run_with_retry)
@@ -14,9 +16,10 @@ from .sweep import (RateDelayCurve, RateDelayPoint, log_rate_grid,
 from .traces import export_run_tsv, flow_arrays, queue_arrays, write_tsv
 
 __all__ = [
-    "PointOutcome", "ProcessPoolBackend", "RateDelayCurve",
-    "RateDelayPoint", "ResilientSweep", "RunBudget", "RunFailure",
-    "SerialBackend", "SweepOutcome", "comparison_line",
+    "CompetitionMatrix", "PointOutcome", "ProcessPoolBackend",
+    "RateDelayCurve", "RateDelayPoint", "ResilientSweep", "RunBudget",
+    "RunFailure", "SerialBackend", "SweepOutcome", "comparison_line",
+    "competition_matrix", "run_competition_point",
     "describe_failures", "describe_run", "execute_point", "flow_table",
     "format_table", "load_bundle", "log_rate_grid", "loss_rate",
     "make_backend", "replay_bundle", "write_crash_bundle",

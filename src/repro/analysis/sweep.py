@@ -115,7 +115,7 @@ def run_rate_delay_point(params: Dict[str, Any], budget: RunBudget
                       max_events=budget.max_events,
                       wall_clock_budget=budget.wall_clock)
     stats = result.stats[0]
-    return {"link_rate": spec.link.rate, "d_min": stats.min_rtt,
+    return {"link_rate": spec.bottleneck_rate, "d_min": stats.min_rtt,
             "d_max": stats.max_rtt, "throughput": stats.throughput}
 
 

@@ -17,6 +17,10 @@ Installed as the ``repro`` console script::
     repro replay crashes/crash-10mbps-1a2b3c4d.json --strict
     repro fuzz --seed 1 --iterations 100 --corpus-dir tests/corpus
     repro fuzz --time-budget 60 --jobs 4 --crash-dir crashes
+    repro run --topology topo.json --rm 40 --cca cubic --cca bbr
+    repro sweep --cca bbr --topology topo.json --rates 2,10,50
+    repro matrix --ccas bbr,cubic,vegas --rate 10 --rm 40 --jobs 4
+    repro matrix --ccas bbr,cubic --topology topo.json --json m.json
     repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
     repro theorem 1|2|3
     repro cache stats|ls|gc|verify --cache-dir ~/.repro-cache
@@ -58,7 +62,8 @@ import sys
 from typing import Any, Dict, List, Optional, Tuple
 
 from . import units
-from .errors import ConfigurationError, SweepAbortedError
+from .errors import (ConfigurationError, SpecValidationError,
+                     SweepAbortedError)
 from .analysis.backends import make_backend
 from .analysis.harness import RunBudget, describe_failures
 from .analysis.report import describe_run, rate_delay_ascii
@@ -66,7 +71,8 @@ from .analysis.sweep import sweep_rate_delay
 from .analysis import starvation
 from .ccas import registry
 from .spec import (CCASpec, ElementSpec, FaultScheduleSpec,
-                   FaultWindowSpec, FlowSpec, LinkSpec, ScenarioSpec)
+                   FaultWindowSpec, FlowSpec, LinkSpec, ScenarioSpec,
+                   TopologySpec)
 from .store import ResultStore
 
 STARVE_SCENARIOS = {
@@ -286,9 +292,41 @@ def parse_link_faults(args: argparse.Namespace
     return faults
 
 
+def _load_topology(path: str) -> TopologySpec:
+    try:
+        return TopologySpec.load(path)
+    except (ConfigurationError, KeyError) as exc:
+        raise SystemExit(f"bad topology spec {path!r}: {exc}")
+
+
 def _specs_from_args(args: argparse.Namespace
                      ) -> List[Tuple[str, ScenarioSpec]]:
     """The scenarios ``repro run`` should execute, as (title, spec)."""
+    if args.topology:
+        if args.spec:
+            raise SystemExit("pass --topology or --spec, not both")
+        if not args.cca or args.rm is None:
+            raise SystemExit(
+                "run --topology needs --rm and at least one --cca")
+        if args.link_blackout or args.link_flap or args.link_ge:
+            raise SystemExit(
+                "--link-* fault flags target the single dumbbell "
+                "bottleneck; put per-link faults in the topology "
+                "spec file instead")
+        topology = _load_topology(args.topology)
+        rm = units.ms(args.rm)
+        flows = tuple(
+            parse_flow_spec(spec, rm, fault_seed=args.fault_seed + i)
+            for i, spec in enumerate(args.cca))
+        try:
+            spec = ScenarioSpec(
+                topology=topology, flows=flows,
+                seed=args.seed if args.seed is not None else 0)
+        except (ConfigurationError, SpecValidationError) as exc:
+            raise SystemExit(str(exc))
+        title = (f"topology {args.topology} "
+                 f"({len(topology.links)} link(s)), Rm = {args.rm} ms")
+        return [(title, spec)]
     if args.spec:
         if args.cca:
             raise SystemExit("pass --spec files or --cca flow specs, "
@@ -395,7 +433,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"unknown CCA {args.cca!r}; choose from "
             f"{', '.join(registry.names())}")
     template = None
-    if args.spec:
+    if args.topology:
+        if args.spec:
+            raise SystemExit("pass --topology or --spec, not both")
+        topology = _load_topology(args.topology)
+        # One flow of the swept CCA routed over every link; each grid
+        # point replaces the first (designated bottleneck) link's rate.
+        template = ScenarioSpec(
+            topology=topology,
+            flows=(FlowSpec(cca=CCASpec(args.cca),
+                            rm=units.ms(args.rm)),))
+    elif args.spec:
         try:
             template = ScenarioSpec.load(args.spec)
         except ConfigurationError as exc:
@@ -444,6 +492,55 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if curve.failures:
         print(f"{len(curve.failures)} grid point(s) failed:")
         print(describe_failures(curve.failures))
+    return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    """Per-CCA-pair fairness/starvation competition matrix."""
+    from .analysis.competition import competition_matrix
+    _apply_invariants(args)
+    names = [name.strip() for name in args.ccas.split(",")
+             if name.strip()]
+    if not names:
+        raise SystemExit("matrix needs --ccas NAME[,NAME...]")
+    for name in names:
+        if not registry.is_registered(name):
+            raise SystemExit(
+                f"unknown CCA {name!r}; choose from "
+                f"{', '.join(registry.names())}")
+    topology = _load_topology(args.topology) if args.topology else None
+    store = _cache_store(args)
+    try:
+        matrix = competition_matrix(
+            names, rate=units.mbps(args.rate), rm=units.ms(args.rm),
+            duration=args.duration, seed=args.seed,
+            starve_threshold=args.starve_threshold,
+            topology=topology,
+            budget=RunBudget(max_events=args.max_events,
+                             wall_clock=args.wall_clock),
+            backend=make_backend(args.jobs, chunksize=args.chunksize),
+            store=store, refresh=args.force, crash_dir=args.crash_dir,
+            checkpoint_path=args.checkpoint,
+            max_failures=args.max_failures)
+    except SweepAbortedError as exc:
+        print(f"matrix aborted early (--max-failures "
+              f"{args.max_failures}):")
+        print(describe_failures(exc.failures))
+        return 1
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(matrix.to_json(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if matrix.cache is not None:
+        _print_cache_line(store, matrix.cache["hits"],
+                          matrix.cache["misses"])
+    print(matrix.describe())
+    if matrix.failures:
+        print(f"{len(matrix.failures)} pair(s) failed:")
+        print(describe_failures(matrix.failures))
+        return 1
     return 0
 
 
@@ -712,6 +809,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a serialized ScenarioSpec JSON file instead of "
              "--rate/--rm/--cca flags; repeatable")
     run_parser.add_argument(
+        "--topology", default=None, metavar="FILE",
+        help="run over a TopologySpec JSON graph instead of the "
+             "single dumbbell bottleneck; --cca flows route over "
+             "every link in declaration order (link rates and "
+             "per-link faults come from the file)")
+    run_parser.add_argument(
         "--dump-spec", action="store_true",
         help="print the assembled ScenarioSpec JSON and exit "
              "without running")
@@ -777,6 +880,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep a ScenarioSpec template: each grid point runs the "
              "template with its bottleneck rate replaced")
     sweep_parser.add_argument(
+        "--topology", default=None, metavar="FILE",
+        help="sweep over a TopologySpec JSON graph: one --cca flow "
+             "routed over every link, with the first link's rate "
+             "(the designated bottleneck) swept across --rates")
+    sweep_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the curve (points + failures) as JSON")
     sweep_parser.add_argument(
@@ -801,6 +909,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_flags(sweep_parser)
     _add_profile_flags(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    matrix_parser = sub.add_parser(
+        "matrix",
+        help="per-CCA-pair fairness/starvation competition matrix")
+    matrix_parser.add_argument(
+        "--ccas", required=True, metavar="NAME[,NAME...]",
+        help="comma-separated CCA registry names; every unordered "
+             "pair (incl. self-pairs) competes head-to-head")
+    matrix_parser.add_argument(
+        "--rate", type=float, default=10.0,
+        help="bottleneck rate in Mbit/s (with --topology: the first "
+             "link's rate; default 10)")
+    matrix_parser.add_argument(
+        "--rm", type=float, default=40.0,
+        help="both flows' propagation RTT, ms (default 40)")
+    matrix_parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="per-pair run length in seconds (default 30; the first "
+             "half is warmup)")
+    matrix_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; per-pair scenario seeds derive from it")
+    matrix_parser.add_argument(
+        "--starve-threshold", type=float, default=50.0, metavar="S",
+        help="flag a pair as starved when its max/min throughput "
+             "ratio reaches S (default 50)")
+    matrix_parser.add_argument(
+        "--topology", default=None, metavar="FILE",
+        help="compete over a TopologySpec JSON graph (both flows "
+             "routed over every link) instead of the dumbbell")
+    matrix_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="run pairs in N worker processes (bit-identical to "
+             "serial)")
+    matrix_parser.add_argument(
+        "--chunksize", type=int, default=1,
+        help="pairs per worker task with --jobs (default 1)")
+    matrix_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the matrix (cells + failures) as JSON")
+    matrix_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="JSON checkpoint; re-invoking resumes completed pairs")
+    matrix_parser.add_argument(
+        "--max-events", type=int, default=20_000_000,
+        help="per-pair event budget (watchdog; default 20M)")
+    matrix_parser.add_argument(
+        "--wall-clock", type=float, default=120.0,
+        help="per-pair wall-clock budget in seconds (default 120)")
+    matrix_parser.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="abort once more than N pairs have failed (default: "
+             "never abort, record failures and continue)")
+    _add_cache_flags(matrix_parser)
+    _add_robustness_flags(matrix_parser)
+    matrix_parser.set_defaults(func=cmd_matrix)
 
     starve_parser = sub.add_parser(
         "starve", help="run Section 5 starvation scenarios")

@@ -21,19 +21,24 @@ staggered starts, ACK-path jitter regimes (constant, aggregation,
 first-packet-exempt poisoning, square wave), and scripted fault windows
 (blackouts, flapping, bursty loss, reordering, duplication,
 corruption) — in short durations so a campaign of hundreds of
-iterations stays cheap.
+iterations stays cheap. A fraction of iterations
+(``FuzzConfig.topology_prob``) swap the dumbbell for a small
+parking-lot topology (2-3 serial bottlenecks, mixed long/single-hop
+flow paths) so the multi-hop builder and per-queue conservation
+invariants get the same adversarial coverage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from random import Random
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 from .. import units
 from ..ccas import registry
 from ..spec import (CCASpec, ElementSpec, FaultScheduleSpec,
-                    FaultWindowSpec, FlowSpec, LinkSpec, ScenarioSpec)
+                    FaultWindowSpec, FlowSpec, LinkSpec, NodeSpec,
+                    ScenarioSpec, TopoLinkSpec, TopologySpec)
 from ..spec.seeds import derive_seed
 
 
@@ -59,6 +64,12 @@ class FuzzConfig:
     data_element_prob: float = 0.15
     flow_fault_prob: float = 0.25
     link_fault_prob: float = 0.2
+    #: Probability that the scenario competes over a parking-lot
+    #: topology (2..max_topology_links serial bottlenecks) instead of
+    #: the single-queue dumbbell, exercising the multi-hop builder and
+    #: per-queue conservation invariants.
+    topology_prob: float = 0.2
+    max_topology_links: int = 3
     #: Restrict CCAs (None = every registered name).
     ccas: Optional[Tuple[str, ...]] = None
 
@@ -162,6 +173,51 @@ def _flow(rng: Random, config: FuzzConfig, duration: float,
                     faults=faults)
 
 
+def _topology(rng: Random, config: FuzzConfig, rate: float,
+              buffer_bdp: Optional[float], ecn: Optional[float],
+              faults: Optional[FaultScheduleSpec]) -> TopologySpec:
+    """A small parking lot whose first link is the drawn bottleneck.
+
+    Link ``b0`` inherits the scenario's drawn rate/buffer/ECN/faults
+    (so the sampled space stays centered where the dumbbell campaign
+    explores); the 1-2 extra serial links draw fresh rates and an
+    occasional propagation delay.
+    """
+    n_links = rng.randint(2, max(2, config.max_topology_links))
+    links = [TopoLinkSpec(id="b0", src="n0", dst="n1", rate=rate,
+                          buffer_bdp=buffer_bdp,
+                          ecn_threshold_bytes=ecn, faults=faults)]
+    for i in range(1, n_links):
+        extra_rate = units.mbps(_round(rng.uniform(
+            config.min_rate_mbps, config.max_rate_mbps), 2))
+        delay = 0.0
+        if rng.random() < 0.3:
+            delay = _round(rng.uniform(0.0005, 0.01))
+        links.append(TopoLinkSpec(id=f"b{i}", src=f"n{i}",
+                                  dst=f"n{i + 1}", rate=extra_rate,
+                                  delay=delay))
+    nodes = tuple(NodeSpec(f"n{i}") for i in range(n_links + 1))
+    return TopologySpec(nodes=nodes, links=tuple(links))
+
+
+def _route_flows(rng: Random, flows: Tuple[FlowSpec, ...],
+                 topology: TopologySpec) -> Tuple[FlowSpec, ...]:
+    """Assign per-flow paths: mostly the long flow, sometimes one hop.
+
+    The mix is the parking-lot competition shape — long flows crossing
+    every queue (empty path = the topology's default full path) against
+    short flows loading a single hop.
+    """
+    link_ids = topology.link_ids()
+    routed = []
+    for flow in flows:
+        path: Tuple[str, ...] = ()
+        if rng.random() < 0.4:
+            path = (rng.choice(list(link_ids)),)
+        routed.append(replace(flow, path=path))
+    return tuple(routed)
+
+
 def generate_spec(root_seed: int, index: int,
                   config: Optional[FuzzConfig] = None) -> ScenarioSpec:
     """Sample fuzz iteration ``index`` of the campaign ``root_seed``.
@@ -191,11 +247,18 @@ def generate_spec(root_seed: int, index: int,
     faults = None
     if rng.random() < config.link_fault_prob:
         faults = FaultScheduleSpec(windows=_fault_windows(rng, duration))
+    seed = derive_seed(root_seed, "fuzz", index, "scenario")
+    # Topology draws come after every dumbbell draw so the sampled
+    # dumbbell parameters stay aligned across config variations.
+    if rng.random() < config.topology_prob:
+        topology = _topology(rng, config, rate, buffer_bdp, ecn, faults)
+        return ScenarioSpec(
+            topology=topology, flows=_route_flows(rng, flows, topology),
+            seed=seed, duration=duration, warmup=warmup)
     link = LinkSpec(rate=rate, buffer_bdp=buffer_bdp,
                     ecn_threshold_bytes=ecn, faults=faults)
     return ScenarioSpec(
-        link=link, flows=flows,
-        seed=derive_seed(root_seed, "fuzz", index, "scenario"),
+        link=link, flows=flows, seed=seed,
         duration=duration, warmup=warmup)
 
 
@@ -214,4 +277,5 @@ def describe_space(config: Optional[FuzzConfig] = None) -> str:
     return (f"{len(ccas)} CCAs x 1-{config.max_flows} flows, "
             f"{config.min_rate_mbps:g}-{config.max_rate_mbps:g} Mbit/s, "
             f"Rm {config.min_rm * 1e3:g}-{config.max_rm * 1e3:g} ms, "
-            f"{config.min_duration:g}-{config.max_duration:g} s runs")
+            f"{config.min_duration:g}-{config.max_duration:g} s runs, "
+            f"P(multi-hop)={config.topology_prob:g}")

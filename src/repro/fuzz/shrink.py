@@ -14,6 +14,9 @@ to a fixpoint.
 Transformations, largest reduction first:
 
 * drop half the flows, then individual flows,
+* collapse a multi-bottleneck topology to the legacy dumbbell (keep
+  the first link's parameters), drop its trailing links, shorten
+  explicit flow paths to their first hop,
 * halve the duration (down to a floor), zero the warmup,
 * drop fault schedules, individual fault windows, halve windows,
 * drop ACK/data path elements, reset ``start_time``/``ack_every``/
@@ -29,10 +32,10 @@ shrinking is best-effort, not exhaustive.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from ..errors import ReproError
-from ..spec import FaultScheduleSpec, FlowSpec, ScenarioSpec
+from ..spec import FlowSpec, LinkSpec, ScenarioSpec
 from .oracles import run_battery
 
 #: Shortest duration the shrinker will propose; below ~half a second
@@ -154,17 +157,46 @@ def _candidates(spec: ScenarioSpec
     if spec.warmup:
         yield from attempt("zero warmup",
                            lambda: replace(spec, warmup=0.0))
-    if spec.link.faults is not None:
+    if spec.topology is not None:
+        # The big multi-hop reduction first: a finding that survives on
+        # the first queue alone becomes an ordinary dumbbell regression.
+        first = spec.topology.links[0]
+        yield from attempt(
+            "collapse topology to dumbbell",
+            lambda: replace(
+                spec, topology=None,
+                link=LinkSpec(rate=first.rate,
+                              buffer_bytes=first.buffer_bytes,
+                              buffer_bdp=first.buffer_bdp,
+                              ecn_threshold_bytes=first.ecn_threshold_bytes,
+                              faults=first.faults),
+                flows=tuple(replace(f, path=()) for f in spec.flows)))
+        if len(spec.topology.links) > 1:
+            # Flows whose explicit path names the dropped link make the
+            # candidate invalid; attempt() skips it.
+            yield from attempt(
+                "drop last topology link",
+                lambda: replace(spec, topology=replace(
+                    spec.topology, links=spec.topology.links[:-1])))
+        for i, flow in enumerate(flows):
+            if len(flow.path) > 1:
+                kept = (flows[:i] + (replace(flow, path=(flow.path[0],)),)
+                        + flows[i + 1:])
+                yield from attempt(f"flow {i}: first-hop path",
+                                   lambda kept=kept:
+                                   replace(spec, flows=kept))
+    if spec.link is not None and spec.link.faults is not None:
         yield from attempt(
             "drop link faults",
             lambda: replace(spec, link=replace(spec.link, faults=None)))
-    if spec.link.ecn_threshold_bytes is not None:
+    if spec.link is not None \
+            and spec.link.ecn_threshold_bytes is not None:
         yield from attempt(
             "drop ECN threshold",
             lambda: replace(spec, link=replace(spec.link,
                                                ecn_threshold_bytes=None)))
-    if spec.link.buffer_bdp is not None \
-            or spec.link.buffer_bytes is not None:
+    if spec.link is not None and (spec.link.buffer_bdp is not None
+                                  or spec.link.buffer_bytes is not None):
         yield from attempt(
             "default buffer",
             lambda: replace(spec, link=replace(

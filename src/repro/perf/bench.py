@@ -13,6 +13,9 @@ microbenchmarks:
 * **single flow** — a full 60 s single-flow run per CCA at 48 Mbit/s /
   50 ms. Measures the end-to-end per-packet path (sender, queue,
   delay, receiver, ACK processing, recorder).
+* **topo parking lot** — a two-bottleneck parking lot (long Copa flow
+  against per-hop cross traffic). Measures the topology builder's
+  per-hop overhead on the same per-packet path.
 * **sweep** — a cold serial 8-point Copa rate-delay sweep, the unit of
   work every Figure 3 style experiment multiplies by hundreds.
 
@@ -38,7 +41,8 @@ from .. import units
 from ..analysis.harness import RunBudget
 from ..analysis.sweep import log_rate_grid, sweep_rate_delay
 from ..sim.engine import Simulator
-from ..spec import CCASpec, single_flow_scenario
+from ..spec import (CCASpec, FlowSpec, ScenarioSpec,
+                    parking_lot_topology, single_flow_scenario)
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -133,6 +137,50 @@ def bench_single_flow(cca: str, duration: float = 60.0,
     }
 
 
+def bench_parking_lot(duration: float = 10.0,
+                      rate_mbps: float = SINGLE_FLOW_RATE_MBPS,
+                      rm_ms: float = SINGLE_FLOW_RM_MS,
+                      seed: int = 1) -> Dict[str, Any]:
+    """A two-bottleneck parking lot: long Copa flow vs. two cross flows.
+
+    Times the multi-hop builder's wiring on the same per-packet hot
+    path as ``single_flow`` — every long-flow packet traverses two
+    queues, so this also tracks the per-hop overhead of the topology
+    layer. The duration is *not* scaled down in quick mode: the
+    three-flow slow-start transient costs a fixed ~40% of this
+    workload's wall time, so shrinking the run would change the
+    events-per-second rate itself, not just its variance, and the
+    quick-vs-committed comparison would stop being apples-to-apples.
+    """
+    spec = ScenarioSpec(
+        topology=parking_lot_topology(
+            [units.mbps(rate_mbps), units.mbps(rate_mbps * 0.8)],
+            buffer_bdp=4.0),
+        flows=(
+            FlowSpec(cca=CCASpec("copa"), rm=units.ms(rm_ms)),
+            FlowSpec(cca=CCASpec("reno"), rm=units.ms(rm_ms),
+                     path=("b0",)),
+            FlowSpec(cca=CCASpec("cubic"), rm=units.ms(rm_ms),
+                     path=("b1",)),
+        ),
+        seed=seed)
+    start = perf_counter()
+    result = spec.run(duration=duration, warmup=duration / 3)
+    wall = perf_counter() - start
+    sim = result.scenario.sim
+    sent = sum(f.sender.sent_packets for f in result.scenario.flows)
+    return {
+        "duration_s": duration,
+        "links": len(result.scenario.queues),
+        "flows": len(result.scenario.flows),
+        "wall_s": round(wall, 4),
+        "events": sim.events_processed,
+        "events_per_s": round(sim.events_processed / wall, 1),
+        "sent_packets": sent,
+        "pkts_per_s": round(sent / wall, 1),
+    }
+
+
 def bench_sweep(duration: float = 30.0,
                 grid: Sequence[float] = SWEEP_GRID) -> Dict[str, Any]:
     """A cold serial Copa sweep over the 8-point log grid."""
@@ -170,6 +218,8 @@ def run_suite(quick: bool = False,
             cca: bench_single_flow(cca, duration=max(60.0 * scale, 4.0))
             for cca in ccas
         },
+        # Fixed workload in both modes (see bench_parking_lot).
+        "topo_parking_lot": bench_parking_lot(),
     }
     if include_sweep:
         suite["sweep_8pt"] = bench_sweep(
@@ -237,6 +287,10 @@ def describe_suite(doc: Dict[str, Any]) -> str:
     for cca, entry in sorted(suite.get("single_flow", {}).items()):
         lines.append(f"single_flow:{cca:16s} {entry['wall_s']:9.3f} "
                      f"{entry['pkts_per_s']:12.0f} pkt/s")
+    lot = suite.get("topo_parking_lot")
+    if lot:
+        lines.append(f"{'topo_parking_lot':28s} {lot['wall_s']:9.3f} "
+                     f"{lot['pkts_per_s']:12.0f} pkt/s")
     sweep = suite.get("sweep_8pt")
     if sweep:
         lines.append(f"{'sweep_8pt':28s} {sweep['wall_s']:9.3f} "

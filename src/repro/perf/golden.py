@@ -37,8 +37,9 @@ from ..analysis.metrics import summarize_run
 from ..analysis.sweep import run_rate_delay_point, sweep_rate_delay
 from ..ccas import registry
 from ..spec import (CCASpec, ElementSpec, FaultScheduleSpec,
-                    FaultWindowSpec, FlowSpec, LinkSpec, ScenarioSpec,
-                    single_flow_scenario)
+                    FaultWindowSpec, FlowSpec, LinkSpec, NodeSpec,
+                    ScenarioSpec, TopoLinkSpec, TopologySpec,
+                    parking_lot_topology, single_flow_scenario)
 from ..spec.seeds import derive_seed
 from ..store.keys import point_cache_key
 
@@ -102,9 +103,13 @@ def run_digests(result: Any) -> Dict[str, str]:
             "delivered_values": _series(rec.delivered_values),
             "received_values": _series(rec.received_values),
         }
-    qrec = result.scenario.queue_recorder
-    if qrec is not None:
-        traces["queue"] = {
+    # First queue keeps the historical "queue" key so every dumbbell
+    # digest is byte-identical to pre-topology captures; extra
+    # bottlenecks (multi-hop scenarios only) digest as "queue1", ...
+    for i, qrec in enumerate(result.scenario.queue_recorders):
+        if qrec is None:
+            continue
+        traces["queue" if i == 0 else f"queue{i}"] = {
             "sample_times": _series(qrec.sample_times),
             "backlog_values": _series(qrec.backlog_values),
         }
@@ -194,6 +199,50 @@ def golden_scenarios() -> Dict[str, ScenarioSpec]:
         "vivace",
         ack_elements=(ElementSpec("ack_aggregation",
                                   {"period": 0.008}),))
+
+    # Multi-bottleneck coverage: the parking-lot shape (a long flow
+    # over both queues against single-hop cross traffic) pins the
+    # topology builder's wiring and per-flow routing.
+    scenarios["topo/parking_lot"] = ScenarioSpec(
+        topology=parking_lot_topology([units.mbps(10), units.mbps(8)],
+                                      buffer_bdp=4.0),
+        flows=(
+            FlowSpec(cca=CCASpec("copa"), rm=units.ms(40)),
+            FlowSpec(cca=CCASpec("reno"), rm=units.ms(30),
+                     path=("b0",)),
+            FlowSpec(cca=CCASpec("cubic"), rm=units.ms(30),
+                     start_time=0.4, path=("b1",)),
+        ),
+        seed=5)
+
+    # Per-link propagation delay on the second hop (the DelayElement
+    # inserted between queue and flow sink).
+    scenarios["topo/two_hop_delay"] = ScenarioSpec(
+        topology=parking_lot_topology([units.mbps(12), units.mbps(12)],
+                                      delays=[0.0, units.ms(10)]),
+        flows=(FlowSpec(cca=CCASpec("bbr"), rm=units.ms(40)),),
+        seed=5)
+
+    # A fault window scoped to the second link only — exercises the
+    # per-link fault seed branch derive_seed(S, "link", id, "faults").
+    scenarios["topo/fault_second_hop"] = ScenarioSpec(
+        topology=TopologySpec(
+            nodes=(NodeSpec("n0"), NodeSpec("n1"), NodeSpec("n2")),
+            links=(
+                TopoLinkSpec(id="b0", src="n0", dst="n1",
+                             rate=units.mbps(10)),
+                TopoLinkSpec(id="b1", src="n1", dst="n2",
+                             rate=units.mbps(10),
+                             faults=FaultScheduleSpec(windows=(
+                                 FaultWindowSpec("gilbert_elliott", 0.0,
+                                                 float("inf"),
+                                                 {"mean_loss": 0.02}),
+                             ))),
+            )),
+        flows=(FlowSpec(cca=CCASpec("vegas"), rm=units.ms(40)),
+               FlowSpec(cca=CCASpec("reno"), rm=units.ms(40),
+                        path=("b1",))),
+        seed=5)
     return scenarios
 
 

@@ -12,10 +12,12 @@ from .faults import (BlackoutElement, CorruptionElement, DuplicateElement,
 from .host import Receiver, Sender
 from .invariants import (InvariantSentinel, InvariantWarning, override_mode,
                          resolve_mode)
-from .network import FlowConfig, LinkConfig, Scenario, build_dumbbell
+from .network import (FlowConfig, LinkConfig, Scenario, TopologyLink,
+                      build_dumbbell, build_topology)
 from .packet import Ack, AckInfo, Packet
 from .queue import BottleneckQueue
-from .runner import FlowStats, RunResult, run_scenario, run_scenario_full
+from .runner import (FlowStats, RunResult, run_scenario,
+                     run_scenario_full, run_topology_full)
 
 __all__ = [
     "Ack", "AckInfo", "BlackoutElement", "BottleneckQueue",
@@ -23,6 +25,7 @@ __all__ = [
     "FaultWindow", "FlowConfig", "FlowStats", "GilbertElliottLossElement",
     "InvariantSentinel", "InvariantWarning", "LinkConfig", "LinkFlapElement",
     "Packet", "Receiver", "ReorderElement", "RunResult", "Scenario",
-    "Sender", "Simulator", "build_dumbbell", "override_mode",
-    "resolve_mode", "run_scenario", "run_scenario_full",
+    "Sender", "Simulator", "TopologyLink", "build_dumbbell",
+    "build_topology", "override_mode", "resolve_mode", "run_scenario",
+    "run_scenario_full", "run_topology_full",
 ]

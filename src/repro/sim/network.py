@@ -1,10 +1,18 @@
-"""Scenario description and dumbbell topology assembly.
+"""Scenario description and topology assembly (dumbbell + graphs).
 
-A scenario is a bottleneck link plus a list of flows. Each flow has its
-own CCA, propagation delay, optional jitter elements on the data and ACK
-paths, optional loss element, and receiver ACK policy — exactly the
-degrees of freedom the paper's Section 3 model and Section 5 experiments
-exercise.
+A scenario is one or more bottleneck links plus a list of flows. Each
+flow has its own CCA, propagation delay, optional jitter elements on
+the data and ACK paths, optional loss element, and receiver ACK policy
+— exactly the degrees of freedom the paper's Section 3 model and
+Section 5 experiments exercise.
+
+:func:`build_topology` is the general builder: an ordered list of
+:class:`TopologyLink` (each a :class:`BottleneckQueue` plus optional
+propagation delay and fault chain) with per-flow paths as link-id
+sequences. :func:`build_dumbbell` is the legacy single-link entry point
+and delegates to it — a one-link topology is wired with exactly the
+same constructor/scheduling sequence, so dumbbell runs stay
+bit-identical to the pre-topology builder.
 """
 
 from __future__ import annotations
@@ -97,6 +105,10 @@ class FlowConfig:
     burst_size: int = 1
     fault_schedule: Optional[FaultSchedule] = None
     label: str = ""
+    #: Ordered link ids this flow traverses (topology scenarios only);
+    #: None = every link in declaration order (or the single dumbbell
+    #: bottleneck).
+    path: Optional[Sequence[str]] = None
 
     def __post_init__(self) -> None:
         if self.rm <= 0:
@@ -106,6 +118,29 @@ class FlowConfig:
         if self.start_time < 0:
             raise ConfigurationError(
                 f"start_time must be >= 0, got {self.start_time}")
+
+
+@dataclass
+class TopologyLink:
+    """One directed link of a topology: a queue config plus delay.
+
+    ``delay`` is the link's propagation delay, applied after its queue
+    on the forward path (the flow's own ``rm`` is still applied once,
+    after the last queue, exactly like the dumbbell).
+    """
+
+    link_id: str
+    config: LinkConfig
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.link_id, str) or not self.link_id:
+            raise ConfigurationError(
+                f"topology link needs a non-empty id, got "
+                f"{self.link_id!r}")
+        if self.delay < 0:
+            raise ConfigurationError(
+                f"link delay must be >= 0, got {self.delay}")
 
 
 class BuiltFlow:
@@ -121,16 +156,31 @@ class BuiltFlow:
 
 
 class Scenario:
-    """A built dumbbell scenario ready to run."""
+    """A built scenario (dumbbell or multi-bottleneck) ready to run.
+
+    ``queues``/``queue_recorders`` hold every link's queue in topology
+    declaration order; ``queue``/``queue_recorder`` stay as aliases for
+    the first (the designated bottleneck), so all pre-topology call
+    sites keep working unchanged.
+    """
 
     def __init__(self, sim: Simulator, queue: BottleneckQueue,
                  flows: List[BuiltFlow],
                  queue_recorder: QueueRecorder,
-                 sentinel: Optional[InvariantSentinel] = None) -> None:
+                 sentinel: Optional[InvariantSentinel] = None,
+                 queues: Optional[List[BottleneckQueue]] = None,
+                 queue_recorders: Optional[List[QueueRecorder]] = None,
+                 link_ids: Optional[List[str]] = None) -> None:
         self.sim = sim
-        self.queue = queue
+        self.queues = list(queues) if queues is not None else [queue]
+        self.queue_recorders = (list(queue_recorders)
+                                if queue_recorders is not None
+                                else [queue_recorder])
+        self.queue = self.queues[0]
         self.flows = flows
-        self.queue_recorder = queue_recorder
+        self.queue_recorder = self.queue_recorders[0]
+        self.link_ids = (list(link_ids) if link_ids is not None
+                         else ["bottleneck"])
         self.sentinel = sentinel
 
     def run(self, duration: float, max_events: Optional[int] = None,
@@ -192,28 +242,83 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
     built components without scheduling events, so enabling it is
     bit-invisible to traces and summaries.
     """
+    return build_topology([TopologyLink("bottleneck", link)], flows,
+                          sample_interval=sample_interval,
+                          invariants=invariants)
+
+
+def build_topology(links: Sequence[TopologyLink],
+                   flows: Sequence[FlowConfig],
+                   sample_interval: float = 0.05,
+                   invariants: Optional[str] = None) -> Scenario:
+    """Assemble a multi-bottleneck topology: serial queues + flow paths.
+
+    Forward path per flow (path = links L1 .. Ln)::
+
+        sender -> data_elements -> [L1 faults] -> L1 queue -> delay(L1)
+               -> [L2 faults] -> L2 queue -> delay(L2) -> ...
+               -> Ln queue -> delay(Ln) -> delay(rm) -> receiver
+
+    Reverse path per flow::
+
+        receiver -> ack_elements -> sender
+
+    Each link's propagation ``delay`` applies after its queue; a flow's
+    own ``rm`` is applied once after the final queue, exactly like the
+    dumbbell, so a one-link topology with zero link delay wires the
+    *identical* object graph ``build_dumbbell`` always produced (no
+    extra elements, same constructor and scheduling order) and stays
+    bit-identical to it.
+
+    ``FlowConfig.path`` names the traversed link ids in order; ``None``
+    routes the flow over every link in declaration order. The first
+    declared link is the designated bottleneck exposed as
+    ``scenario.queue``.
+    """
+    if not links:
+        raise ConfigurationError("topology needs at least one link")
     if not flows:
         raise ConfigurationError("scenario needs at least one flow")
+    link_ids = [lk.link_id for lk in links]
+    if len(set(link_ids)) != len(link_ids):
+        raise ConfigurationError(
+            f"duplicate topology link ids: {link_ids}")
     sim = Simulator()
     sentinel = InvariantSentinel(mode=invariants)
     first_rm = flows[0].rm
-    # One shared free list per scenario: packets cycle sender -> queue
+    # One shared free list per scenario: packets cycle sender -> queues
     # -> receiver -> (as ACKs) -> sender instead of being allocated per
     # event (the simulation is single-threaded, so sharing is safe).
     pool = PacketPool()
-    queue = BottleneckQueue(sim, link.rate,
-                            buffer_bytes=link.resolve_buffer(first_rm),
-                            ecn_threshold_bytes=link.ecn_threshold_bytes,
-                            pool=pool)
-    # Shared-bottleneck faults: one element chain seen by every flow.
-    queue_entry: object = queue
-    if link.fault_schedule is not None:
-        queue_entry = link.fault_schedule.build(sim, queue)
+    queues: dict = {}
+    # Per-link shared faults: one element chain seen by every flow that
+    # crosses the link; ``entries`` maps link id -> chain entry point.
+    entries: dict = {}
+    for lk in links:
+        link = lk.config
+        queue = BottleneckQueue(sim, link.rate,
+                                buffer_bytes=link.resolve_buffer(first_rm),
+                                ecn_threshold_bytes=link.ecn_threshold_bytes,
+                                pool=pool)
+        entry: object = queue
+        if link.fault_schedule is not None:
+            entry = link.fault_schedule.build(sim, queue)
+        queues[lk.link_id] = queue
+        entries[lk.link_id] = entry
     built: List[BuiltFlow] = []
     # Per-flow chains share the link fault elements; dedupe by identity
     # so the conservation balance counts each drop source exactly once.
     registered_elements: set = set()
     for flow_id, config in enumerate(flows):
+        path = list(config.path) if config.path else list(link_ids)
+        for link_id in path:
+            if link_id not in queues:
+                raise ConfigurationError(
+                    f"flow {flow_id} path names unknown link "
+                    f"{link_id!r} (known: {link_ids})")
+        if len(set(path)) != len(path):
+            raise ConfigurationError(
+                f"flow {flow_id} path repeats a link: {path}")
         cca = config.cca_factory()
         sender = Sender(sim, flow_id, cca, mss=config.mss,
                         start_time=config.start_time,
@@ -223,12 +328,20 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
         # Reverse path: receiver -> ack elements -> sender.
         ack_entry = chain(sim, config.ack_elements, sender)
         receiver.attach_ack_path(ack_entry)
-        # Forward path after the bottleneck: delay(rm) -> receiver.
-        delay = DelayElement(sim, receiver, config.rm)
-        queue.register_sink(flow_id, delay)
-        # Forward path before the bottleneck:
+        # Forward path, wired back-to-front: after the last queue comes
+        # delay(rm) -> receiver; each hop's queue routes this flow to
+        # the next hop's entry (through the hop's own delay, if any).
+        downstream: object = DelayElement(sim, receiver, config.rm)
+        for link_id in reversed(path):
+            lk = links[link_ids.index(link_id)]
+            sink: object = downstream
+            if lk.delay > 0:
+                sink = DelayElement(sim, downstream, lk.delay)
+            queues[link_id].register_sink(flow_id, sink)
+            downstream = entries[link_id]
+        # Forward path before the first queue:
         #   data elements -> per-flow faults -> shared faults -> queue.
-        flow_terminal: object = queue_entry
+        flow_terminal: object = downstream
         if config.fault_schedule is not None:
             flow_terminal = config.fault_schedule.build(sim, flow_terminal)
         data_entry = chain(sim, config.data_elements, flow_terminal)
@@ -238,7 +351,7 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
         built.append(BuiltFlow(flow_id, config, sender, receiver, recorder))
         if sentinel.active:
             sentinel.register_flow(sender, receiver, recorder)
-            for element in _walk_elements(data_entry, queue):
+            for element in _walk_elements(data_entry, queues[path[0]]):
                 if id(element) not in registered_elements:
                     registered_elements.add(id(element))
                     sentinel.register_element(element)
@@ -246,10 +359,22 @@ def build_dumbbell(link: LinkConfig, flows: Sequence[FlowConfig],
                 if id(element) not in registered_elements:
                     registered_elements.add(id(element))
                     sentinel.register_element(element)
-    queue_recorder = QueueRecorder(sim, queue,
-                                   sample_interval=sample_interval)
+    queue_recorders = [QueueRecorder(sim, queues[link_id],
+                                     sample_interval=sample_interval)
+                       for link_id in link_ids]
     if sentinel.active:
-        sentinel.register_queue(queue, queue_recorder)
+        for link_id, recorder in zip(link_ids, queue_recorders):
+            sentinel.register_queue(queues[link_id], recorder)
+            # Fault chains fronting downstream links sit between queues,
+            # out of reach of the per-flow data-path walks above.
+            for element in _walk_elements(entries[link_id],
+                                          queues[link_id]):
+                if id(element) not in registered_elements:
+                    registered_elements.add(id(element))
+                    sentinel.register_element(element)
         sentinel.register_pool(pool)
         sentinel.attach(sim)
-    return Scenario(sim, queue, built, queue_recorder, sentinel=sentinel)
+    return Scenario(sim, queues[link_ids[0]], built, queue_recorders[0],
+                    sentinel=sentinel,
+                    queues=[queues[link_id] for link_id in link_ids],
+                    queue_recorders=queue_recorders, link_ids=link_ids)

@@ -60,6 +60,7 @@ class BottleneckQueue:
         self._queued_bytes: float = 0.0
         self._busy = False
         self._in_service: Optional[Packet] = None
+        self.arrived: int = 0
         self.drops: int = 0
         self.dropped_bytes: float = 0.0
         self.forwarded: int = 0
@@ -88,6 +89,7 @@ class BottleneckQueue:
 
     def receive(self, packet: Packet, now: float) -> None:
         """Enqueue a packet, dropping it if the buffer is full."""
+        self.arrived += 1
         if (self.buffer_bytes is not None
                 and self._queued_bytes + packet.size > self.buffer_bytes):
             self.drops += 1
@@ -157,4 +159,17 @@ class BottleneckQueue:
             errors.append((
                 "sanity", "service",
                 "queue marked busy with no packet in service"))
+        # Per-queue packet conservation: every arrival is either still
+        # waiting, in service, forwarded downstream, or tail-dropped.
+        # On a multi-hop path this pins down *which* queue leaked a
+        # packet, where the end-to-end flow balance only says one did.
+        accounted = (self.forwarded + self.drops + len(self._queue)
+                     + (1 if self._in_service is not None else 0))
+        if accounted != self.arrived:
+            errors.append((
+                "conservation", "queue_balance",
+                f"arrived={self.arrived} but forwarded={self.forwarded} "
+                f"+ drops={self.drops} + queued={len(self._queue)} "
+                f"+ in_service={1 if self._in_service is not None else 0} "
+                f"= {accounted}"))
         return errors

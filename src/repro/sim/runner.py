@@ -20,8 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from .network import (FlowConfig, LinkConfig, Scenario,
-                      build_dumbbell)
+from .network import (FlowConfig, LinkConfig, Scenario, TopologyLink,
+                      build_dumbbell, build_topology)
 
 
 @dataclass
@@ -63,14 +63,24 @@ class RunResult:
         return [s.throughput for s in self.stats]
 
     def throughput_ratio(self) -> float:
-        """Faster flow's throughput over the slower flow's (>= 1)."""
+        """Faster flow's throughput over the slower flow's (>= 1).
+
+        Starved competitions get documented sentinels instead of a
+        division by zero: ``math.inf`` when the slowest flow moved no
+        bytes while another did (total starvation, the worst outcome a
+        competition matrix can report), and ``1.0`` when *no* flow
+        moved bytes or there is only one flow — matching
+        :func:`repro.core.fairness.throughput_ratio`.
+        """
         rates = sorted(self.throughputs)
-        if len(rates) < 2 or rates[0] <= 0:
-            return math.inf if len(rates) >= 2 else 1.0
+        if len(rates) < 2:
+            return 1.0
+        if rates[0] <= 0:
+            return math.inf if rates[-1] > 0 else 1.0
         return rates[-1] / rates[0]
 
     def utilization(self) -> float:
-        """Aggregate delivered rate over the link rate."""
+        """Aggregate delivered rate over the (first) bottleneck rate."""
         total = sum(self.throughputs)
         return total / self.scenario.queue.rate
 
@@ -151,6 +161,35 @@ def run_scenario_full(link: LinkConfig, flows: Sequence[FlowConfig],
         min_rm = min(flow.rm for flow in flows)
         sample_interval = max(min_rm / 4, duration / 20000)
     scenario = build_dumbbell(link, flows, sample_interval=sample_interval,
+                              invariants=invariants)
+    scenario.run(duration, max_events=max_events,
+                 wall_clock_budget=wall_clock_budget)
+    stats = summarize(scenario, duration, warmup)
+    return RunResult(scenario=scenario, stats=stats, duration=duration,
+                     warmup=warmup)
+
+
+def run_topology_full(links: Sequence[TopologyLink],
+                      flows: Sequence[FlowConfig],
+                      duration: float, warmup: float = 0.0,
+                      sample_interval: Optional[float] = None,
+                      max_events: Optional[int] = None,
+                      wall_clock_budget: Optional[float] = None,
+                      invariants: Optional[str] = None
+                      ) -> RunResult:
+    """Build, run, and summarize a multi-bottleneck topology scenario.
+
+    The topology counterpart of :func:`run_scenario_full` — the same
+    default sampling policy, watchdog budgets, and invariant-sentinel
+    plumbing, over :func:`repro.sim.network.build_topology` instead of
+    the dumbbell builder.
+    """
+    if sample_interval is None:
+        # Sample finely enough to resolve the shortest RTT.
+        min_rm = min(flow.rm for flow in flows)
+        sample_interval = max(min_rm / 4, duration / 20000)
+    scenario = build_topology(links, flows,
+                              sample_interval=sample_interval,
                               invariants=invariants)
     scenario.run(duration, max_events=max_events,
                  wall_clock_budget=wall_clock_budget)

@@ -25,10 +25,14 @@ from .elements import (ELEMENTS, FAULT_KINDS, ElementSpec,
 from .scenario import (SPEC_VERSION, CCASpec, FlowSpec, LinkSpec,
                        ScenarioSpec, single_flow_scenario)
 from .seeds import derive_seed
+from .topology import (NodeSpec, TopoLinkSpec, TopologySpec,
+                       parking_lot_topology, shared_bottleneck_topology)
 
 __all__ = [
     "CCASpec", "ELEMENTS", "ElementSpec", "FAULT_KINDS",
     "FaultScheduleSpec", "FaultWindowSpec", "FlowSpec", "LinkSpec",
-    "SPEC_VERSION", "ScenarioSpec", "derive_seed", "element_kinds",
+    "NodeSpec", "SPEC_VERSION", "ScenarioSpec", "TopoLinkSpec",
+    "TopologySpec", "derive_seed", "element_kinds",
+    "parking_lot_topology", "shared_bottleneck_topology",
     "single_flow_scenario",
 ]

@@ -23,6 +23,7 @@ Seed derivation tree (root ``seed`` = S)::
     flow i ack  elem j    derive_seed(S, "flow", i, "ack", j)
     flow i fault windows  derive_seed(S, "flow", i, "faults")
     link fault windows    derive_seed(S, "link", "faults")
+    topo link L faults    derive_seed(S, "link", L, "faults")
 
 An explicit ``seed`` inside a CCA's params, an element's params, or a
 fault schedule always overrides the derived one.
@@ -38,10 +39,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..ccas import registry
 from ..errors import ConfigurationError, SpecValidationError
 from ..sim.network import (FlowConfig, LinkConfig, Scenario,
-                           build_dumbbell)
-from ..sim.runner import RunResult, run_scenario_full
+                           TopologyLink, build_dumbbell, build_topology)
+from ..sim.runner import (RunResult, run_scenario_full,
+                          run_topology_full)
 from .elements import ElementSpec, FaultScheduleSpec, _normalize
 from .seeds import derive_seed
+from .topology import TopologySpec
 
 SPEC_VERSION = 1
 
@@ -121,6 +124,11 @@ class FlowSpec:
     burst_size: int = 1
     faults: Optional[FaultScheduleSpec] = None
     label: str = ""
+    #: Ordered link ids the flow traverses; only meaningful when the
+    #: scenario carries a :class:`~repro.spec.topology.TopologySpec`.
+    #: Empty = route over every topology link in declaration order
+    #: (and, for legacy dumbbells, simply "the bottleneck").
+    path: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         _check_number("rm", self.rm, positive=True)
@@ -145,6 +153,12 @@ class FlowSpec:
                            tuple(self.data_elements))
         object.__setattr__(self, "ack_elements",
                            tuple(self.ack_elements))
+        object.__setattr__(self, "path", tuple(self.path))
+        for link_id in self.path:
+            if not isinstance(link_id, str) or not link_id:
+                raise SpecValidationError(
+                    f"flow path entries must be non-empty link-id "
+                    f"strings, got {link_id!r}")
 
     def to_json(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -161,6 +175,8 @@ class FlowSpec:
         }
         if self.faults is not None:
             data["faults"] = self.faults.to_json()
+        if self.path:
+            data["path"] = list(self.path)
         return data
 
     @classmethod
@@ -181,6 +197,7 @@ class FlowSpec:
             faults=(FaultScheduleSpec.from_json(faults)
                     if faults is not None else None),
             label=data.get("label", ""),
+            path=tuple(data.get("path", ())),
         )
 
 
@@ -230,19 +247,25 @@ class LinkSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A complete, serializable scenario: link + flows + root seed.
+    """A complete, serializable scenario: link(s) + flows + root seed.
+
+    Exactly one of ``link`` (the legacy single-bottleneck dumbbell) or
+    ``topology`` (a :class:`~repro.spec.topology.TopologySpec` graph of
+    links routed by ``FlowSpec.path``) must be set. Dumbbell scenarios
+    serialize byte-identically to before topologies existed.
 
     ``duration``/``warmup``/``sample_interval`` are optional embedded
     run parameters so a JSON file is self-contained for ``repro run
     --spec``; callers may override them at :meth:`run` time.
     """
 
-    link: LinkSpec
-    flows: Tuple[FlowSpec, ...]
+    link: Optional[LinkSpec] = None
+    flows: Tuple[FlowSpec, ...] = ()
     seed: int = 0
     duration: Optional[float] = None
     warmup: Optional[float] = None
     sample_interval: Optional[float] = None
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "flows", tuple(self.flows))
@@ -261,13 +284,41 @@ class ScenarioSpec:
             raise SpecValidationError(
                 f"warmup ({self.warmup}) must be shorter than the "
                 f"duration ({self.duration})")
+        if (self.link is None) == (self.topology is None):
+            raise SpecValidationError(
+                "scenario needs exactly one of link= (dumbbell) or "
+                "topology= (multi-bottleneck graph)")
+        if self.topology is not None:
+            for i, flow in enumerate(self.flows):
+                try:
+                    if flow.path:
+                        self.topology.validate_path(flow.path)
+                    else:
+                        self.topology.default_path()
+                except SpecValidationError as exc:
+                    raise SpecValidationError(f"flow {i}: {exc}")
+        else:
+            for i, flow in enumerate(self.flows):
+                if flow.path:
+                    raise SpecValidationError(
+                        f"flow {i} names a path {list(flow.path)} but "
+                        "the scenario has no topology")
+
+    @property
+    def bottleneck_rate(self) -> float:
+        """The designated bottleneck's rate (first topology link)."""
+        if self.link is not None:
+            return self.link.rate
+        return self.topology.links[0].rate
 
     # ------------------------------------------------------------------
     # Build layer
     # ------------------------------------------------------------------
 
-    def to_configs(self) -> Tuple[LinkConfig, List[FlowConfig]]:
-        """Materialize the live build-layer configs (with callables)."""
+    def _flow_configs(self) -> List[FlowConfig]:
+        """Materialize per-flow build configs (seed tree is identical
+        for dumbbell and topology scenarios, so a flow's RNG streams do
+        not depend on what graph it runs over)."""
         flow_configs: List[FlowConfig] = []
         for i, flow in enumerate(self.flows):
             cca_factory = flow.cca.make_factory(
@@ -290,7 +341,17 @@ class ScenarioSpec:
                 data_elements=data, ack_elements=ack,
                 ack_every=flow.ack_every, ack_timeout=flow.ack_timeout,
                 burst_size=flow.burst_size, fault_schedule=faults,
-                label=flow.label or f"{flow.cca.name}#{i}"))
+                label=flow.label or f"{flow.cca.name}#{i}",
+                path=(flow.path or None)))
+        return flow_configs
+
+    def to_configs(self) -> Tuple[LinkConfig, List[FlowConfig]]:
+        """Materialize the live build-layer configs (with callables)."""
+        if self.topology is not None:
+            raise ConfigurationError(
+                "this scenario carries a topology; use "
+                "to_topology_configs()")
+        flow_configs = self._flow_configs()
         link_faults = None
         if self.link.faults is not None and self.link.faults.windows:
             link_faults = self.link.faults.build(
@@ -302,15 +363,47 @@ class ScenarioSpec:
             fault_schedule=link_faults)
         return link_config, flow_configs
 
+    def to_topology_configs(self) -> Tuple[List[TopologyLink],
+                                           List[FlowConfig]]:
+        """Materialize topology build configs (with callables).
+
+        Per-link fault seeds derive as ``derive_seed(seed, "link",
+        link_id, "faults")`` — keyed by stable link id, never position,
+        so inserting a hop upstream does not reshuffle another link's
+        impairment RNG.
+        """
+        if self.topology is None:
+            raise ConfigurationError(
+                "this scenario has no topology; use to_configs()")
+        links: List[TopologyLink] = []
+        for lk in self.topology.links:
+            faults = None
+            if lk.faults is not None and lk.faults.windows:
+                faults = lk.faults.build(
+                    derive_seed(self.seed, "link", lk.id, "faults"))
+            links.append(TopologyLink(
+                link_id=lk.id,
+                config=LinkConfig(
+                    rate=lk.rate, buffer_bytes=lk.buffer_bytes,
+                    buffer_bdp=lk.buffer_bdp,
+                    ecn_threshold_bytes=lk.ecn_threshold_bytes,
+                    fault_schedule=faults),
+                delay=lk.delay))
+        return links, self._flow_configs()
+
     def build(self, sample_interval: Optional[float] = None,
               invariants: Optional[str] = None) -> Scenario:
         """Produce the live :class:`Scenario` (build layer output)."""
-        link, flows = self.to_configs()
         interval = sample_interval
         if interval is None:
             interval = self.sample_interval
         if interval is None:
             interval = 0.05
+        if self.topology is not None:
+            links, flows = self.to_topology_configs()
+            return build_topology(links, flows, sample_interval=interval,
+                                  invariants=invariants)
+        link, flows = self.to_configs()
         return build_dumbbell(link, flows, sample_interval=interval,
                               invariants=invariants)
 
@@ -337,6 +430,13 @@ class ScenarioSpec:
             run_warmup = 0.0
         interval = (sample_interval if sample_interval is not None
                     else self.sample_interval)
+        if self.topology is not None:
+            links, flows = self.to_topology_configs()
+            return run_topology_full(
+                links, flows, duration=run_duration, warmup=run_warmup,
+                sample_interval=interval, max_events=max_events,
+                wall_clock_budget=wall_clock_budget,
+                invariants=invariants)
         link, flows = self.to_configs()
         return run_scenario_full(
             link, flows, duration=run_duration, warmup=run_warmup,
@@ -351,9 +451,12 @@ class ScenarioSpec:
         data: Dict[str, Any] = {
             "version": SPEC_VERSION,
             "seed": self.seed,
-            "link": self.link.to_json(),
-            "flows": [f.to_json() for f in self.flows],
         }
+        if self.link is not None:
+            data["link"] = self.link.to_json()
+        data["flows"] = [f.to_json() for f in self.flows]
+        if self.topology is not None:
+            data["topology"] = self.topology.to_json()
         for key in ("duration", "warmup", "sample_interval"):
             value = getattr(self, key)
             if value is not None:
@@ -367,13 +470,17 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unsupported scenario spec version {version!r} "
                 f"(this build reads version {SPEC_VERSION})")
+        link = data.get("link")
+        topology = data.get("topology")
         return cls(
-            link=LinkSpec.from_json(data["link"]),
+            link=LinkSpec.from_json(link) if link is not None else None,
             flows=tuple(FlowSpec.from_json(f) for f in data["flows"]),
             seed=data.get("seed", 0),
             duration=data.get("duration"),
             warmup=data.get("warmup"),
             sample_interval=data.get("sample_interval"),
+            topology=(TopologySpec.from_json(topology)
+                      if topology is not None else None),
         )
 
     def dumps(self, indent: Optional[int] = 1) -> str:
@@ -402,7 +509,16 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
 
     def with_link_rate(self, rate: float) -> "ScenarioSpec":
-        """A copy with the bottleneck rate replaced (sweep templates)."""
+        """A copy with the bottleneck rate replaced (sweep templates).
+
+        For topology scenarios the *first* declared link is the
+        designated bottleneck and gets the new rate; the remaining
+        links keep theirs.
+        """
+        if self.topology is not None:
+            first = self.topology.links[0].id
+            return replace(
+                self, topology=self.topology.with_link_rate(first, rate))
         return replace(self, link=replace(self.link, rate=rate))
 
     def with_seed(self, seed: int) -> "ScenarioSpec":
