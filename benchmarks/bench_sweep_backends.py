@@ -6,6 +6,10 @@ ProcessPoolBackend(jobs=4), then cold and warm against a
 content-addressed result store — asserts all four curves are
 bit-identical, and writes the timings to BENCH_sweep.json at the repo
 root (``cache_cold_s`` / ``cache_warm_s`` next to the backend times).
+A fifth leg measures the sweep service: a daemon over the warmed
+store answers a submit→wait→fetch round trip without simulating
+anything (``service_warm_submit_ms``), and its bytes must equal the
+serial reference too.
 
 The speedup column is honest wall-clock on the current machine; on a
 single-core container the pool cannot beat serial (spawn overhead plus
@@ -51,7 +55,39 @@ def timed_sweep(jobs, cache_dir=None):
     return elapsed, curve
 
 
+def timed_service_warm_submit(cache_dir, reference_bytes):
+    """Submit→wait→fetch against a daemon whose store is fully warm."""
+    from repro.service import (JobSpec, ServiceClient, SweepService,
+                               serve_background)
+    from repro.store import ResultStore
+
+    job_root = tempfile.mkdtemp(prefix="bench-jobs-")
+    server = None
+    try:
+        service = SweepService(job_root, ResultStore(cache_dir),
+                               budget=BUDGET)
+        server = serve_background(service)
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        spec = JobSpec.sweep("copa", GRID, RM * 1e3,
+                             duration=DURATION, seed=11)
+        start = time.monotonic()
+        raw = client.submit_and_wait(spec, timeout=60, poll=0.005)
+        elapsed = time.monotonic() - start
+        job = client.jobs()[0]
+        assert job["warm"], "expected the warm short-circuit"
+        assert job["progress"]["cached"] == len(GRID), job["progress"]
+        assert raw == reference_bytes, \
+            "service result diverged from the serial reference"
+        return elapsed
+    finally:
+        if server is not None:
+            server.close()
+        shutil.rmtree(job_root, ignore_errors=True)
+
+
 def main():
+    from repro.service import render_result
+
     serial_time, serial_curve = timed_sweep(jobs=None)
     pool_time, pool_curve = timed_sweep(jobs=JOBS)
 
@@ -65,6 +101,8 @@ def main():
         # The acceptance bar: a warm rerun executes zero simulations.
         assert warm_curve.cache == {"hits": len(GRID), "misses": 0,
                                     "resumed": 0}, warm_curve.cache
+        service_time = timed_service_warm_submit(
+            cache_dir, render_result(serial_curve.to_json()).encode())
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
@@ -83,13 +121,16 @@ def main():
         "cache_cold_s": round(cold_time, 3),
         "cache_warm_s": round(warm_time, 3),
         "cache_speedup": round(serial_time / warm_time, 3),
+        "service_warm_submit_ms": round(service_time * 1e3, 3),
         "bit_identical": identical,
         "note": ("speedup is wall-clock on this machine; with fewer "
                  "cores than jobs the pool pays spawn overhead for no "
                  "parallelism — compare against cpu_count. cache_cold_s "
                  "is the pool sweep plus store writes; cache_warm_s "
                  "replays the grid from the store with zero "
-                 "simulations"),
+                 "simulations. service_warm_submit_ms is an HTTP "
+                 "submit->wait->fetch round trip against a daemon "
+                 "whose store already holds every point"),
     }
     with open(OUT_PATH, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)

@@ -167,6 +167,73 @@ class CompetitionMatrix:
         return "\n".join(lines)
 
 
+def build_matrix_points(ccas: Sequence[str], rate: float, rm: float,
+                        duration: float = 30.0,
+                        warmup_fraction: float = 0.5,
+                        mss: int = 1500,
+                        seed: int = 0,
+                        topology: Optional[TopologySpec] = None,
+                        ) -> List[Any]:
+    """The declarative pair grid one competition matrix executes.
+
+    Each point is ``(pair_key(a, b), params)`` ready for
+    :func:`run_competition_point` — the same construction
+    :func:`competition_matrix` uses, exposed so the sweep service can
+    probe cache keys or run the identical grid itself. Per-pair seeds
+    are ``derive_seed(seed, "matrix", a, b)``, independent of execution
+    order.
+    """
+    names = list(ccas)
+    if len(names) < 1:
+        raise ConfigurationError("competition matrix needs >= 1 CCA")
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate CCA names: {names}")
+    base_topology = None
+    if topology is not None:
+        base_topology = topology.with_link_rate(topology.links[0].id,
+                                                rate)
+    warmup = duration * warmup_fraction
+    points = []
+    for i, a in enumerate(names):
+        for b in names[i:]:
+            flows = (
+                FlowSpec(cca=CCASpec(a), rm=rm, mss=mss, label=f"{a}#0"),
+                FlowSpec(cca=CCASpec(b), rm=rm, mss=mss, label=f"{b}#1"),
+            )
+            if base_topology is not None:
+                spec = ScenarioSpec(topology=base_topology, flows=flows,
+                                    seed=derive_seed(seed, "matrix", a, b))
+            else:
+                spec = ScenarioSpec(link=LinkSpec(rate=rate), flows=flows,
+                                    seed=derive_seed(seed, "matrix", a, b))
+            points.append((pair_key(a, b), {
+                "scenario": spec.to_json(),
+                "duration": duration,
+                "warmup": warmup,
+            }))
+    return points
+
+
+def assemble_competition_matrix(ccas: Sequence[str], rate: float,
+                                rm: float, duration: float,
+                                points: Sequence[Any], outcome: Any,
+                                starve_threshold: float = 50.0,
+                                cached: bool = False
+                                ) -> CompetitionMatrix:
+    """Fold a :class:`SweepOutcome` back into a
+    :class:`CompetitionMatrix` (grid order from ``points``)."""
+    cache = None
+    if cached:
+        cache = {"hits": outcome.hits, "misses": outcome.misses,
+                 "resumed": outcome.resumed}
+    return CompetitionMatrix(
+        ccas=list(ccas), rate=rate, rm=rm, duration=duration,
+        cells={key: outcome.completed[key] for key, _ in points
+               if key in outcome.completed},
+        starve_threshold=starve_threshold,
+        failures=list(outcome.failures), cache=cache)
+
+
 def competition_matrix(ccas: Sequence[str], rate: float, rm: float,
                        duration: float = 30.0,
                        warmup_fraction: float = 0.5,
@@ -207,10 +274,6 @@ def competition_matrix(ccas: Sequence[str], rate: float, rm: float,
             :func:`repro.analysis.sweep.sweep_rate_delay`.
     """
     names = list(ccas)
-    if len(names) < 1:
-        raise ConfigurationError("competition matrix needs >= 1 CCA")
-    if len(set(names)) != len(names):
-        raise ConfigurationError(f"duplicate CCA names: {names}")
     if backend is None:
         backend = make_backend(jobs)
     elif jobs is not None:
@@ -221,29 +284,9 @@ def competition_matrix(ccas: Sequence[str], rate: float, rm: float,
         from ..store import ResultStore
         store = ResultStore(cache_dir)
 
-    base_topology = None
-    if topology is not None:
-        base_topology = topology.with_link_rate(topology.links[0].id,
-                                                rate)
-    warmup = duration * warmup_fraction
-    points = []
-    for i, a in enumerate(names):
-        for b in names[i:]:
-            flows = (
-                FlowSpec(cca=CCASpec(a), rm=rm, mss=mss, label=f"{a}#0"),
-                FlowSpec(cca=CCASpec(b), rm=rm, mss=mss, label=f"{b}#1"),
-            )
-            if base_topology is not None:
-                spec = ScenarioSpec(topology=base_topology, flows=flows,
-                                    seed=derive_seed(seed, "matrix", a, b))
-            else:
-                spec = ScenarioSpec(link=LinkSpec(rate=rate), flows=flows,
-                                    seed=derive_seed(seed, "matrix", a, b))
-            points.append((pair_key(a, b), {
-                "scenario": spec.to_json(),
-                "duration": duration,
-                "warmup": warmup,
-            }))
+    points = build_matrix_points(names, rate, rm, duration=duration,
+                                 warmup_fraction=warmup_fraction,
+                                 mss=mss, seed=seed, topology=topology)
 
     sweep = ResilientSweep(run_competition_point, budget=budget,
                            checkpoint_path=checkpoint_path,
@@ -251,13 +294,6 @@ def competition_matrix(ccas: Sequence[str], rate: float, rm: float,
                            crash_dir=crash_dir,
                            max_failures=max_failures)
     outcome = sweep.run(points)
-    cache = None
-    if store is not None:
-        cache = {"hits": outcome.hits, "misses": outcome.misses,
-                 "resumed": outcome.resumed}
-    return CompetitionMatrix(
-        ccas=names, rate=rate, rm=rm, duration=duration,
-        cells={key: outcome.completed[key] for key, _ in points
-               if key in outcome.completed},
-        starve_threshold=starve_threshold,
-        failures=list(outcome.failures), cache=cache)
+    return assemble_competition_matrix(
+        names, rate, rm, duration, points, outcome,
+        starve_threshold=starve_threshold, cached=store is not None)

@@ -175,6 +175,10 @@ class SweepOutcome:
     resumed: int = 0
     hits: int = 0
     misses: int = 0
+    #: True when a ``stop_check`` ended the sweep before every point
+    #: ran (the sweep-service's cooperative job cancellation). The
+    #: checkpoint holds everything that finished.
+    stopped: bool = False
 
     @property
     def failed_keys(self) -> List[str]:
@@ -235,6 +239,12 @@ class ResilientSweep:
             resumed checkpoint count toward the threshold, so a
             re-invocation without fixing anything aborts immediately
             instead of burning the grid again.
+        stop_check: a zero-argument callable polled after every
+            finished point (post checkpoint flush). Returning True ends
+            the sweep cooperatively: in-flight backend work is torn
+            down, the outcome carries ``stopped=True``, and everything
+            completed so far survives in the checkpoint — the
+            sweep-service uses this for job cancellation.
 
     Example::
 
@@ -261,7 +271,8 @@ class ResilientSweep:
                  store: Optional[object] = None,
                  refresh: bool = False,
                  crash_dir: Optional[str] = None,
-                 max_failures: Optional[int] = None) -> None:
+                 max_failures: Optional[int] = None,
+                 stop_check: Optional[Callable[[], bool]] = None) -> None:
         if max_failures is not None and max_failures < 0:
             raise ValueError(
                 f"max_failures must be >= 0, got {max_failures}")
@@ -280,6 +291,7 @@ class ResilientSweep:
         self.store = store
         self.refresh = refresh
         self.crash_dir = crash_dir
+        self.stop_check = stop_check
         self._interrupted: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -433,6 +445,7 @@ class ResilientSweep:
                    if key not in completed and key not in failed_keys]
         resumed = len(points) - len(pending)
         hits = misses = 0
+        stopped = False
         self._check_failure_threshold(failures)
         with self._trap_signals():
             for outcome in self.backend.execute(
@@ -461,7 +474,9 @@ class ResilientSweep:
                 # here closes the backend generator, which tears down
                 # any pool workers.
                 self._check_failure_threshold(failures)
-                if self._interrupted is not None:
+                if self.stop_check is not None and self.stop_check():
+                    stopped = True
+                if stopped or self._interrupted is not None:
                     # Exiting the loop closes the backend generator,
                     # which tears down any pool workers.
                     break
@@ -471,7 +486,8 @@ class ResilientSweep:
                 raise SystemExit(128 + signum)
             raise KeyboardInterrupt
         return SweepOutcome(completed=completed, failures=failures,
-                            resumed=resumed, hits=hits, misses=misses)
+                            resumed=resumed, hits=hits, misses=misses,
+                            stopped=stopped)
 
     def _check_failure_threshold(self,
                                  failures: List[RunFailure]) -> None:

@@ -127,6 +127,72 @@ def _as_cca_spec(cca: CCALike) -> Optional[CCASpec]:
     return None
 
 
+def build_rate_delay_points(cca: Optional[CCALike],
+                            link_rates_mbps: Sequence[float], rm: float,
+                            duration: Optional[float] = None,
+                            warmup_fraction: float = 0.5,
+                            mss: int = 1500,
+                            seed: int = 0,
+                            template: Optional[ScenarioSpec] = None,
+                            ) -> Tuple[str, List[Tuple[str, Dict[str, Any]]]]:
+    """The declarative grid one rate-delay sweep executes.
+
+    Returns ``(label, points)`` where each point is ``(key, params)``
+    ready for :func:`run_rate_delay_point` — the same construction
+    :func:`sweep_rate_delay` uses, exposed so other callers (the sweep
+    service) can probe cache keys or run the identical grid themselves.
+    Per-point seeds derive from ``(seed, "sweep", key)``, never from
+    execution order, which is what makes any two executions of the same
+    grid byte-identical.
+    """
+    spec = None if template is not None else _as_cca_spec(cca)
+    if spec is None and template is None:
+        raise ConfigurationError(
+            "build_rate_delay_points needs a declarative CCA (registry "
+            "name or CCASpec) or a ScenarioSpec template")
+    points: List[Tuple[str, Dict[str, Any]]] = []
+    for rate_mbps in link_rates_mbps:
+        key = f"{float(rate_mbps):g}mbps"
+        rate = units.mbps(float(rate_mbps))
+        run_time = duration
+        if run_time is None:
+            run_time = default_run_time(rate, rm, mss)
+        if template is not None:
+            point_spec = template.with_link_rate(rate)
+        else:
+            point_spec = single_flow_scenario(spec, rate=rate, rm=rm,
+                                              mss=mss)
+        point_spec = point_spec.with_seed(derive_seed(seed, "sweep", key))
+        points.append((key, {
+            "scenario": point_spec.to_json(),
+            "duration": run_time,
+            "warmup": run_time * warmup_fraction,
+        }))
+    label = spec.name if spec is not None else "scenario"
+    return label, points
+
+
+def assemble_rate_delay_curve(label: str, rm: float,
+                              points: Sequence[Tuple[str, Dict[str, Any]]],
+                              outcome: Any,
+                              cached: bool = False) -> RateDelayCurve:
+    """Fold a :class:`SweepOutcome` back into a :class:`RateDelayCurve`.
+
+    Grid order comes from ``points`` (not completion order), so the
+    curve is independent of the execution backend. ``cached`` attaches
+    the outcome's hit/miss accounting (sweeps without a store leave
+    ``curve.cache`` as None).
+    """
+    curve_points = [RateDelayPoint(**outcome.completed[key])
+                    for key, _ in points if key in outcome.completed]
+    cache = None
+    if cached:
+        cache = {"hits": outcome.hits, "misses": outcome.misses,
+                 "resumed": outcome.resumed}
+    return RateDelayCurve(label=label, rm=rm, points=curve_points,
+                          failures=list(outcome.failures), cache=cache)
+
+
 def sweep_rate_delay(cca_factory: CCALike,
                      link_rates_mbps: Sequence[float], rm: float,
                      label: str = "",
@@ -206,31 +272,15 @@ def sweep_rate_delay(cca_factory: CCALike,
         store = ResultStore(cache_dir)
 
     spec = None if template is not None else _as_cca_spec(cca_factory)
-    grid = [(f"{rate_mbps:g}mbps", float(rate_mbps))
-            for rate_mbps in link_rates_mbps]
 
     if spec is not None or template is not None:
         run_point = run_rate_delay_point
-        points: List[Tuple[str, Dict[str, Any]]] = []
-        for key, rate_mbps in grid:
-            rate = units.mbps(rate_mbps)
-            run_time = duration
-            if run_time is None:
-                run_time = default_run_time(rate, rm, mss)
-            if template is not None:
-                point_spec = template.with_link_rate(rate)
-            else:
-                point_spec = single_flow_scenario(spec, rate=rate, rm=rm,
-                                                  mss=mss)
-            point_spec = point_spec.with_seed(
-                derive_seed(seed, "sweep", key))
-            points.append((key, {
-                "scenario": point_spec.to_json(),
-                "duration": run_time,
-                "warmup": run_time * warmup_fraction,
-            }))
+        built_label, points = build_rate_delay_points(
+            cca_factory, link_rates_mbps, rm, duration=duration,
+            warmup_fraction=warmup_fraction, mss=mss, seed=seed,
+            template=template)
         if not label:
-            label = spec.name if spec is not None else "scenario"
+            label = built_label
     else:
         # Legacy path: a live factory closure. Works, but only serially.
         if not isinstance(backend, SerialBackend):
@@ -262,8 +312,9 @@ def sweep_rate_delay(cca_factory: CCALike,
                     "d_max": stats.max_rtt,
                     "throughput": stats.throughput}
 
-        points = [(key, {"rate_mbps": rate_mbps})
-                  for key, rate_mbps in grid]
+        points = [(f"{float(rate_mbps):g}mbps",
+                   {"rate_mbps": float(rate_mbps)})
+                  for rate_mbps in link_rates_mbps]
 
     sweep = ResilientSweep(run_point, budget=budget,
                            checkpoint_path=checkpoint_path,
@@ -272,14 +323,8 @@ def sweep_rate_delay(cca_factory: CCALike,
                            crash_dir=crash_dir,
                            max_failures=max_failures)
     outcome = sweep.run(points)
-    curve_points = [RateDelayPoint(**outcome.completed[key])
-                    for key, _ in points if key in outcome.completed]
-    cache = None
-    if store is not None:
-        cache = {"hits": outcome.hits, "misses": outcome.misses,
-                 "resumed": outcome.resumed}
-    return RateDelayCurve(label=label, rm=rm, points=curve_points,
-                          failures=list(outcome.failures), cache=cache)
+    return assemble_rate_delay_curve(label, rm, points, outcome,
+                                     cached=store is not None)
 
 
 def log_rate_grid(lo_mbps: float = 0.1, hi_mbps: float = 100.0,

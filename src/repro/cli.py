@@ -24,6 +24,13 @@ Installed as the ``repro`` console script::
     repro starve copa|bbr|vivace|allegro|fig7-reno|fig7-cubic
     repro theorem 1|2|3
     repro cache stats|ls|gc|verify --cache-dir ~/.repro-cache
+    repro cache gc --max-age-days 30 --max-bytes 100000000
+    repro serve --job-dir jobs --cache-dir ~/.repro-cache --port 8642
+    repro submit sweep --cca bbr --rates 0.4,2,10,50 --rm 50
+    repro submit matrix --ccas bbr,cubic --rate 10 --rm 40
+    repro jobs
+    repro jobs JOB_ID --events
+    repro jobs JOB_ID --cancel
     repro bench --json BENCH_sim.json
     repro bench --quick --compare BENCH_sim.json
     repro run --rate 48 --rm 40 --cca copa --profile
@@ -691,11 +698,21 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"{count} entr{'y' if count == 1 else 'ies'}")
         return 0
     if args.action == "gc":
-        report = store.gc()
+        max_bytes = None
+        if args.max_bytes is not None:
+            max_bytes = int(args.max_bytes)
+        report = store.gc(max_age_days=args.max_age_days,
+                          max_bytes=max_bytes)
         print(f"removed {report.removed_corrupt} corrupt entr"
               f"{'y' if report.removed_corrupt == 1 else 'ies'}, "
-              f"{report.removed_temp} temp file(s), "
-              f"{report.bytes_freed} bytes freed; "
+              f"{report.removed_temp} temp file(s)", end="")
+        if args.max_age_days is not None:
+            print(f", {report.removed_expired} expired "
+                  f"(> {args.max_age_days:g} day(s) unused)", end="")
+        if max_bytes is not None:
+            print(f", {report.removed_evicted} evicted "
+                  f"(LRU past {max_bytes} bytes)", end="")
+        print(f"; {report.bytes_freed} bytes freed, "
               f"{report.kept} good entr"
               f"{'y' if report.kept == 1 else 'ies'} kept")
         return 0
@@ -714,6 +731,157 @@ def cmd_cache(args: argparse.Namespace) -> int:
             return 1
         return 0
     raise SystemExit(f"unknown cache action {args.action!r}")
+
+
+DEFAULT_SERVICE_URL = os.environ.get("REPRO_SERVICE_URL",
+                                     "http://127.0.0.1:8642")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep-service daemon in the foreground."""
+    from .service import ReproServer, SweepService
+    _apply_invariants(args)
+    if not args.cache_dir:
+        raise SystemExit(
+            "serve wants --cache-dir DIR (or $REPRO_CACHE_DIR): the "
+            "shared result store is the point of the daemon")
+    store = ResultStore(args.cache_dir)
+    service = SweepService(
+        args.job_dir, store, jobs=args.jobs,
+        budget=RunBudget(max_events=args.max_events,
+                         wall_clock=args.wall_clock),
+        max_failures=args.max_failures)
+    server = ReproServer((args.host, args.port), service,
+                         verbose=args.verbose)
+    print(f"sweep service listening on "
+          f"http://{args.host}:{server.port}")
+    print(f"  jobs:  {service.job_store.root}")
+    print(f"  store: {store.root}")
+    sys.stdout.flush()
+    try:
+        server.serve()
+    except KeyboardInterrupt:
+        print("shutting down (unfinished jobs will resume on restart)")
+        server.close()
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace):
+    """Assemble the JobSpec a ``repro submit`` invocation describes."""
+    from .service import JobSpec
+    if args.kind == "sweep":
+        template = None
+        if args.spec:
+            template = ScenarioSpec.load(args.spec).to_json()
+        return JobSpec.sweep(
+            args.cca, [float(x) for x in args.rates.split(",")],
+            args.rm, duration=args.duration, seed=args.seed,
+            template=template)
+    topology = None
+    if args.topology:
+        topology = _load_topology(args.topology).to_json()
+    names = [name.strip() for name in args.ccas.split(",")
+             if name.strip()]
+    return JobSpec.matrix(
+        names, args.rate, args.rm, duration=args.duration,
+        seed=args.seed, starve_threshold=args.starve_threshold,
+        topology=topology)
+
+
+def _print_job_line(job: Dict[str, Any]) -> None:
+    progress = job.get("progress", {})
+    done = (progress.get("done", 0) + progress.get("cached", 0)
+            + progress.get("failed", 0))
+    flags = []
+    if job.get("warm"):
+        flags.append("warm")
+    if progress.get("cached"):
+        flags.append(f"{progress['cached']} cached")
+    if progress.get("failed"):
+        flags.append(f"{progress['failed']} failed")
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    kind = job.get("spec", {}).get("kind", "?")
+    print(f"{job['id']}  {job['state']:9s}  {kind:6s} "
+          f"{done}/{progress.get('total', 0)}{suffix}")
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit an experiment to a running sweep-service daemon."""
+    from .errors import ServiceError
+    from .service import ServiceClient
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        spec = _submit_spec(args)
+    except (ConfigurationError, ServiceError) as exc:
+        raise SystemExit(str(exc))
+    try:
+        return _submit_and_report(args, client, spec)
+    except ServiceError as exc:
+        raise SystemExit(f"service error: {exc}")
+
+
+def _submit_and_report(args: argparse.Namespace, client, spec) -> int:
+    job = client.submit(spec)
+    print(f"submitted job {job['id']} ({job['state']}) to {args.url}")
+    if args.no_wait:
+        return 0
+    snapshot = client.wait(job["id"], timeout=args.timeout)
+    _print_job_line(snapshot)
+    if snapshot["state"] != "done":
+        if snapshot.get("error"):
+            print(f"error: {snapshot['error']}")
+        return 1
+    raw = client.result_bytes(job["id"])
+    if args.json:
+        with open(args.json, "wb") as fh:
+            fh.write(raw)
+        print(f"result written to {args.json}")
+    else:
+        sys.stdout.write(raw.decode("utf-8"))
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """Inspect (or cancel) jobs on a running daemon."""
+    from .errors import ServiceError
+    from .service import ServiceClient
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        return _jobs_report(args, client)
+    except ServiceError as exc:
+        raise SystemExit(f"service error: {exc}")
+
+
+def _jobs_report(args: argparse.Namespace, client) -> int:
+    if args.job_id is None:
+        if args.cancel or args.events:
+            raise SystemExit("--cancel/--events want a JOB_ID")
+        jobs = client.jobs()
+        for job in jobs:
+            _print_job_line(job)
+        counters = client.stats()["counters"]
+        print(f"{len(jobs)} job(s); submitted {counters['submitted']}, "
+              f"coalesced {counters['coalesced']}, "
+              f"completed {counters['completed']}, "
+              f"warm {counters['warm']}")
+        return 0
+    if args.cancel:
+        job = client.cancel(args.job_id)
+        print(f"job {job['id']} -> {job['state']}")
+        return 0
+    if args.events:
+        try:
+            for event in client.events(args.job_id, since=args.since):
+                print(json.dumps(event, sort_keys=True))
+        except BrokenPipeError:
+            # Streaming into `head`/`grep -m` closes stdout early;
+            # park it on devnull so interpreter teardown stays quiet.
+            os.dup2(os.open(os.devnull, os.O_WRONLY),
+                    sys.stdout.fileno())
+        return 0
+    print(json.dumps(client.job(args.job_id), indent=1,
+                     sort_keys=True))
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -990,7 +1158,122 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
         metavar="DIR", help="store root (default: $REPRO_CACHE_DIR)")
+    cache_parser.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="gc: also remove entries not used (catalog hit/store) "
+             "for more than DAYS days")
+    cache_parser.add_argument(
+        "--max-bytes", type=float, default=None, metavar="N",
+        help="gc: after age expiry, evict least-recently-used entries "
+             "until the store holds at most N bytes")
     cache_parser.set_defaults(func=cmd_cache)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the sweep-service daemon (async job queue + HTTP "
+             "API over a shared result store)")
+    serve_parser.add_argument(
+        "--job-dir", required=True, metavar="DIR",
+        help="durable per-job state; a restarted daemon resumes the "
+             "queue found here")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default 8642; 0 picks an ephemeral port)")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes per executing job (default: serial)")
+    serve_parser.add_argument(
+        "--max-events", type=int, default=20_000_000,
+        help="per-point event budget (watchdog; default 20M)")
+    serve_parser.add_argument(
+        "--wall-clock", type=float, default=120.0,
+        help="per-point wall-clock budget in seconds (default 120)")
+    serve_parser.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="fail a job once more than N of its points have failed "
+             "(default: run every point, report failures)")
+    serve_parser.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr")
+    _add_cache_flags(serve_parser)
+    _add_robustness_flags(serve_parser)
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="run an experiment through a sweep-service daemon "
+             "(results byte-identical to running it locally)")
+    submit_sub = submit_parser.add_subparsers(dest="kind",
+                                              required=True)
+    submit_sweep = submit_sub.add_parser(
+        "sweep", help="submit a rate-delay sweep grid")
+    submit_sweep.add_argument("--cca", required=True)
+    submit_sweep.add_argument("--rates", default="0.4,2,10,50")
+    submit_sweep.add_argument("--rm", type=float, default=50.0)
+    submit_sweep.add_argument("--duration", type=float, default=None)
+    submit_sweep.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; per-point scenario seeds derive from it")
+    submit_sweep.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="sweep a ScenarioSpec template instead of a fresh "
+             "single-flow scenario")
+    submit_matrix = submit_sub.add_parser(
+        "matrix", help="submit a competition matrix")
+    submit_matrix.add_argument("--ccas", required=True,
+                               metavar="NAME[,NAME...]")
+    submit_matrix.add_argument("--rate", type=float, default=10.0)
+    submit_matrix.add_argument("--rm", type=float, default=40.0)
+    submit_matrix.add_argument("--duration", type=float, default=30.0)
+    submit_matrix.add_argument("--seed", type=int, default=0)
+    submit_matrix.add_argument("--starve-threshold", type=float,
+                               default=50.0, metavar="S")
+    submit_matrix.add_argument(
+        "--topology", default=None, metavar="FILE",
+        help="compete over a TopologySpec JSON graph")
+    for sub_parser in (submit_sweep, submit_matrix):
+        sub_parser.add_argument(
+            "--url", default=DEFAULT_SERVICE_URL,
+            help="daemon base URL (default: $REPRO_SERVICE_URL or "
+                 "http://127.0.0.1:8642)")
+        sub_parser.add_argument(
+            "--timeout", type=float, default=600.0,
+            help="seconds to wait for completion (default 600)")
+        sub_parser.add_argument(
+            "--no-wait", action="store_true",
+            help="just queue the job and print its id; fetch later "
+                 "with 'repro jobs ID'")
+        sub_parser.add_argument(
+            "--json", default=None, metavar="PATH",
+            help="write the result document to PATH instead of stdout")
+        sub_parser.set_defaults(func=cmd_submit)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list, inspect, or cancel sweep-service jobs")
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None, metavar="JOB_ID",
+        help="show one job's snapshot instead of the queue listing")
+    jobs_parser.add_argument(
+        "--url", default=DEFAULT_SERVICE_URL,
+        help="daemon base URL (default: $REPRO_SERVICE_URL or "
+             "http://127.0.0.1:8642)")
+    jobs_parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request timeout in seconds (default 30)")
+    jobs_parser.add_argument(
+        "--events", action="store_true",
+        help="print the job's NDJSON progress events")
+    jobs_parser.add_argument(
+        "--since", type=int, default=0, metavar="SEQ",
+        help="with --events: only events with seq >= SEQ")
+    jobs_parser.add_argument(
+        "--cancel", action="store_true",
+        help="cancel the job (immediate when queued, cooperative "
+             "when running)")
+    jobs_parser.set_defaults(func=cmd_jobs)
 
     replay_parser = sub.add_parser(
         "replay",

@@ -48,6 +48,23 @@ class SweepAbortedError(ReproError):
         self.failures = failures if failures is not None else []
 
 
+class ServiceError(ReproError):
+    """A sweep-service request failed (HTTP error or bad job spec).
+
+    Raised by :class:`repro.service.client.ServiceClient` when the
+    daemon answers with a non-2xx status, and by the job-spec
+    validators when a submitted document names an unknown kind or CCA.
+
+    Attributes:
+        status: the HTTP status code (0 when the failure happened
+            before a response arrived, e.g. connection refused).
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class SimulationError(ReproError):
     """The simulator reached an internally inconsistent state."""
 

@@ -1,0 +1,38 @@
+"""Sweep service: an async work-queue daemon over the shared store.
+
+PR 5 gave sweeps a content-addressed result store; PR 8 puts a daemon
+in front of it. One long-lived :class:`SweepService` process owns a
+worker pool and a durable job queue; any number of clients submit
+declarative :class:`JobSpec` documents (a rate-delay sweep grid or a
+competition matrix) over a tiny HTTP/JSON API and fetch results that
+are **byte-identical** to running the same experiment locally — warm
+submissions short-circuit to the store without simulating anything.
+
+Layering (strictly one-way):
+
+* :mod:`repro.service.jobs` — the durable job model: validated specs,
+  content-derived job ids, atomic per-job persistence, compiled plans.
+* :mod:`repro.service.queue` — :class:`SweepService`: the dispatcher
+  draining the queue through :class:`~repro.analysis.harness.
+  ResilientSweep` onto the shared store, with coalescing, cooperative
+  cancellation, and restart resume.
+* :mod:`repro.service.server` — :class:`ReproServer`, a
+  ``ThreadingHTTPServer`` translating HTTP to service calls.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the urllib
+  client used by ``repro submit`` / ``repro jobs``.
+
+From the CLI: ``repro serve --job-dir DIR --cache-dir DIR`` starts a
+daemon; ``repro submit sweep --cca vegas ...`` runs an experiment
+through it; ``repro jobs`` inspects the queue.
+"""
+
+from .client import ServiceClient
+from .jobs import Job, JobSpec, JobStore, build_plan, job_id
+from .queue import SweepService, render_result
+from .server import ReproServer, serve_background
+
+__all__ = [
+    "Job", "JobSpec", "JobStore", "ReproServer", "ServiceClient",
+    "SweepService", "build_plan", "job_id", "render_result",
+    "serve_background",
+]

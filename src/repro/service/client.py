@@ -1,0 +1,164 @@
+"""urllib client for the sweep-service HTTP API.
+
+:class:`ServiceClient` is the programmatic face of a running daemon —
+the CLI's ``repro submit`` / ``repro jobs`` verbs, the examples, and
+the service tests all speak through it. Pure stdlib
+(:mod:`urllib.request`), synchronous, one short-lived connection per
+call: the service is a lab tool on localhost, not a hyperscale RPC
+layer, and boring transport keeps it debuggable with ``curl``.
+
+All failures — connection refused, non-2xx statuses, malformed bodies —
+surface as :class:`~repro.errors.ServiceError` with the HTTP status
+attached (0 when no response arrived).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..errors import ServiceError
+from .jobs import TERMINAL, JobSpec
+
+
+class ServiceClient:
+    """Talk to one sweep-service daemon.
+
+    Args:
+        base_url: daemon root, e.g. ``"http://127.0.0.1:8642"``.
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                detail = payload.get("error", "")
+            except (ValueError, AttributeError):
+                pass
+            message = detail or f"{exc.code} {exc.reason}"
+            raise ServiceError(
+                f"{method} {path} failed: {message}",
+                status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc.reason}") from None
+
+    def _request_json(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None
+                      ) -> Dict[str, Any]:
+        raw = self._request(method, path, body)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{method} {path} returned malformed JSON: {exc}")
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> bool:
+        """True when the daemon answers its liveness probe."""
+        try:
+            return bool(self._request_json("GET", "/healthz").get("ok"))
+        except ServiceError:
+            return False
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request_json("GET", "/stats")
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        """Submit a spec; returns the job snapshot (maybe coalesced)."""
+        return self._request_json("POST", "/jobs", body=spec.to_json())
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request_json("GET", "/jobs").get("jobs", [])
+
+    def job(self, jid: str) -> Dict[str, Any]:
+        return self._request_json("GET", f"/jobs/{jid}")
+
+    def cancel(self, jid: str) -> Dict[str, Any]:
+        return self._request_json("DELETE", f"/jobs/{jid}")
+
+    def result_bytes(self, jid: str) -> bytes:
+        """The raw result document — byte-identical to a local run."""
+        return self._request("GET", f"/jobs/{jid}/result")
+
+    def result(self, jid: str) -> Dict[str, Any]:
+        return json.loads(self.result_bytes(jid))
+
+    def events(self, jid: str, since: int = 0
+               ) -> Iterator[Dict[str, Any]]:
+        """Parsed NDJSON progress events with ``seq >= since``."""
+        raw = self._request("GET", f"/jobs/{jid}/events?since={since}")
+        for line in raw.decode("utf-8").splitlines():
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+
+    def wait(self, jid: str, timeout: float = 600.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final snapshot; raises :class:`ServiceError` when
+        ``timeout`` elapses first (the job keeps running server-side).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(jid)
+            if snapshot.get("state") in TERMINAL:
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {jid} still {snapshot.get('state')} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)
+
+    def submit_and_wait(self, spec: JobSpec, timeout: float = 600.0,
+                        poll: float = 0.2) -> bytes:
+        """Submit, wait for completion, fetch the result bytes.
+
+        The one-call equivalent of a local ``repro sweep --json``:
+        raises :class:`ServiceError` if the job fails or is cancelled,
+        otherwise returns bytes identical to the local run's file.
+        """
+        job = self.submit(spec)
+        snapshot = self.wait(job["id"], timeout=timeout, poll=poll)
+        if snapshot["state"] != "done":
+            raise ServiceError(
+                f"job {job['id']} ended {snapshot['state']}: "
+                f"{snapshot.get('error')}")
+        return self.result_bytes(job["id"])
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.base_url!r})"

@@ -1,0 +1,357 @@
+"""The sweep service: an async work queue over the shared result store.
+
+:class:`SweepService` owns the durable job queue. Clients (the HTTP
+server, tests, or in-process callers) submit :class:`~.jobs.JobSpec`
+documents; a single dispatcher thread drains the queue and executes one
+job at a time, fanning that job's grid points out across the configured
+:class:`~repro.analysis.backends.ProcessPoolBackend` workers. All jobs
+feed one shared :class:`~repro.store.ResultStore`, so a point computed
+for any client — or by a local ``repro sweep`` against the same cache
+directory — is a catalog *hit* for every later job that needs it.
+
+Design points:
+
+* **Coalescing** — job ids are content-derived, so resubmitting an
+  active spec returns the in-flight job instead of queueing a
+  duplicate. Resubmitting a *terminal* spec re-executes it; with a warm
+  store that run short-circuits to the store without touching the pool.
+* **Durability** — every state transition is persisted through
+  :class:`~.jobs.JobStore` before it is visible; :meth:`start` reloads
+  the directory and requeues anything that was queued or mid-run when
+  the previous daemon died (the harness checkpoint skips that job's
+  already-finished points).
+* **Cancellation** — cooperative, via the harness ``stop_check``:
+  queued jobs cancel immediately, running jobs stop at the next point
+  boundary with their checkpoint intact.
+* **Fail-fast** — ``max_failures`` rides through to
+  :class:`~repro.analysis.harness.ResilientSweep`; a tripped threshold
+  fails the job with the harness's error message, and per-point crash
+  bundles land under the job directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue as queue_module
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..analysis.backends import SerialBackend, make_backend
+from ..analysis.harness import ResilientSweep, RunBudget
+from ..errors import ServiceError, SweepAbortedError
+from ..store import ResultStore, point_cache_key
+from .jobs import (CANCELLED, DONE, FAILED, QUEUED, RUNNING, TERMINAL,
+                   Job, JobSpec, JobStore, build_plan, job_id)
+
+
+def render_result(doc: Dict[str, Any]) -> str:
+    """The canonical result serialization.
+
+    Must match the CLI's ``--json`` output byte-for-byte
+    (``json.dump(doc, fh, indent=1, sort_keys=True); fh.write("\\n")``)
+    — the submit-wait-fetch contract is "same bytes as running it
+    locally", asserted in ``tests/test_service.py``.
+    """
+    return json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
+class SweepService:
+    """Durable job queue executing sweep/matrix specs over one store.
+
+    Args:
+        job_root: directory for per-job state (``<root>/<id>/...``).
+        store: the shared content-addressed result store. Every point
+            of every job crosses it, which is what makes warm
+            resubmissions all-hits and results shareable with local
+            ``repro sweep --cache-dir`` runs.
+        jobs: worker processes per executing job (``None``/1 = serial).
+        budget: per-point watchdog/retry budget.
+        max_failures: fail a job once more than this many points have
+            failed (None = run every point regardless).
+    """
+
+    def __init__(self, job_root: str, store: ResultStore,
+                 jobs: Optional[int] = None,
+                 budget: Optional[RunBudget] = None,
+                 max_failures: Optional[int] = None) -> None:
+        self.job_store = JobStore(job_root)
+        self.store = store
+        self.jobs = jobs
+        self.budget = budget
+        self.max_failures = max_failures
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._queue: "queue_module.Queue[Optional[str]]" = \
+            queue_module.Queue()
+        self._cancel_events: Dict[str, threading.Event] = {}
+        self._stopping = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._started = time.time()
+        #: Lifetime counters, reported by /stats.
+        self._submitted = 0
+        self._coalesced = 0
+        self._completed = 0
+        self._warm_hits = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Load persisted jobs, requeue unfinished ones, start draining."""
+        with self._lock:
+            if self._dispatcher is not None:
+                raise ServiceError("service already started")
+            self._stopping.clear()
+            for job in self.job_store.load_all():
+                self._jobs[job.id] = job
+                if job.state == RUNNING:
+                    # The previous daemon died mid-job; its harness
+                    # checkpoint survives, so requeueing resumes from
+                    # the last finished point.
+                    job.state = QUEUED
+                    self.job_store.save(job)
+                if job.state == QUEUED:
+                    self._queue.put(job.id)
+            self._dispatcher = threading.Thread(
+                target=self._drain, name="sweep-service-dispatcher",
+                daemon=True)
+            self._dispatcher.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop draining; a mid-run job goes back to queued on disk."""
+        with self._lock:
+            dispatcher = self._dispatcher
+            if dispatcher is None:
+                return
+            self._dispatcher = None
+        self._stopping.set()
+        self._queue.put(None)
+        dispatcher.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue a spec; returns the (possibly pre-existing) job.
+
+        Active jobs coalesce: a spec already queued or running is
+        returned as-is. Terminal jobs (done/failed/cancelled) are
+        re-executed under the same id — the previous run's checkpoint
+        and events are cleared so every point flows through the result
+        store again (warm store ⇒ all catalog hits, no simulations).
+        """
+        build_plan(spec)  # surface bad specs at submit time
+        jid = job_id(spec)
+        with self._lock:
+            self._submitted += 1
+            job = self._jobs.get(jid)
+            if job is not None and job.state not in TERMINAL:
+                self._coalesced += 1
+                return job
+            if job is None:
+                job = Job(id=jid, spec=spec,
+                          created=round(time.time(), 3))
+                self._jobs[jid] = job
+            else:
+                job.reset_run()
+                job.created = round(time.time(), 3)
+                self.job_store.clear_run_state(jid)
+            self._cancel_events.pop(jid, None)
+            self.job_store.save(job)
+            self.job_store.append_event(jid, {"event": "queued"})
+            self._queue.put(jid)
+            return job
+
+    def get(self, jid: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(jid)
+
+    def list_jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(),
+                          key=lambda job: (job.created, job.id))
+
+    def result_bytes(self, jid: str) -> Optional[bytes]:
+        return self.job_store.read_result(jid)
+
+    def events(self, jid: str, since: int = 0) -> List[Dict[str, Any]]:
+        return list(self.job_store.events(jid, since=since))
+
+    def cancel(self, jid: str) -> Optional[Job]:
+        """Cancel a job: immediate when queued, cooperative when running.
+
+        Returns the job (state may still be ``running`` briefly — the
+        dispatcher confirms the cancellation at the next point
+        boundary), or None for unknown ids. Terminal jobs are returned
+        unchanged.
+        """
+        with self._lock:
+            job = self._jobs.get(jid)
+            if job is None or job.state in TERMINAL:
+                return job
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.finished = round(time.time(), 3)
+                self.job_store.save(job)
+                self.job_store.append_event(jid, {"event": "cancelled"})
+                return job
+            event = self._cancel_events.get(jid)
+            if event is not None:
+                event.set()
+            return job
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-level counters plus the shared store's catalog view."""
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            counters = {
+                "submitted": self._submitted,
+                "coalesced": self._coalesced,
+                "completed": self._completed,
+                "warm": self._warm_hits,
+            }
+        store_stats = self.store.stats()
+        return {
+            "uptime_s": round(time.time() - self._started, 3),
+            "jobs": states,
+            "counters": counters,
+            "store": {
+                "entries": store_stats.entries,
+                "total_bytes": store_stats.total_bytes,
+                "events": dict(store_stats.events),
+                "hit_rate": round(store_stats.hit_rate, 4),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while not self._stopping.is_set():
+            jid = self._queue.get()
+            if jid is None or self._stopping.is_set():
+                break
+            with self._lock:
+                job = self._jobs.get(jid)
+                if job is None or job.state != QUEUED:
+                    continue  # cancelled while queued, or stale entry
+                job.state = RUNNING
+                job.started = round(time.time(), 3)
+                job.runs += 1
+                self.job_store.save(job)
+                cancel = threading.Event()
+                self._cancel_events[jid] = cancel
+            try:
+                self._execute(job, cancel)
+            except BaseException as exc:  # noqa: BLE001 - keep draining
+                self._finish(job, FAILED,
+                             error=f"{type(exc).__name__}: {exc}")
+            finally:
+                with self._lock:
+                    self._cancel_events.pop(jid, None)
+
+    def _execute(self, job: Job, cancel: threading.Event) -> None:
+        plan = build_plan(job.spec)
+        with self._lock:
+            job.total = len(plan.points)
+            self.job_store.save(job)
+        self.job_store.append_event(job.id, {
+            "event": "started", "total": job.total, "run": job.runs})
+
+        warm = self._fully_cached(plan)
+        # A fully-cached job never needs the process pool: serve it
+        # straight from the store on a throwaway serial backend.
+        backend = SerialBackend() if warm else make_backend(self.jobs)
+
+        def progress(key: str, status: str) -> None:
+            self._note_progress(job, key, status)
+
+        def stop_check() -> bool:
+            return cancel.is_set() or self._stopping.is_set()
+
+        sweep = ResilientSweep(
+            plan.run_point, budget=self.budget,
+            checkpoint_path=self.job_store.checkpoint_path(job.id),
+            progress=progress, backend=backend, store=self.store,
+            crash_dir=os.path.join(self.job_store.job_dir(job.id),
+                                   "crashes"),
+            max_failures=self.max_failures, stop_check=stop_check)
+        try:
+            outcome = sweep.run(plan.points)
+        except SweepAbortedError as exc:
+            self._finish(job, FAILED, error=str(exc))
+            return
+
+        with self._lock:
+            # Reconcile the incremental counters against the outcome
+            # (checkpoint-resumed points never fired a progress event,
+            # so they fold into ``done`` here).
+            job.warm = warm
+            job.cached = outcome.hits
+            job.failed = len(outcome.failures)
+            job.done = len(outcome.completed) - outcome.hits
+
+        if outcome.stopped:
+            if cancel.is_set():
+                self._finish(job, CANCELLED)
+            else:
+                # Service shutdown: back to the queue on disk so the
+                # next daemon resumes from the checkpoint.
+                with self._lock:
+                    job.state = QUEUED
+                    self.job_store.save(job)
+            return
+
+        text = render_result(plan.assemble(outcome))
+        self.job_store.write_result(job.id, text)
+        if warm:
+            with self._lock:
+                self._warm_hits += 1
+        self._finish(job, DONE)
+
+    def _fully_cached(self, plan: Any) -> bool:
+        """True when every grid point is already in the result store."""
+        return all(
+            point_cache_key(plan.run_point, params,
+                            fingerprint=self.store.fingerprint)
+            in self.store
+            for _, params in plan.points)
+
+    def _note_progress(self, job: Job, key: str, status: str) -> None:
+        with self._lock:
+            if status == "cached":
+                job.cached += 1
+            elif status == "ok":
+                job.done += 1
+            elif status.startswith("failed"):
+                job.failed += 1
+            else:
+                return  # "run" marks dispatch, not completion
+            self.job_store.save(job)
+        self.job_store.append_event(job.id, {
+            "event": "point", "key": key, "status": status})
+
+    def _finish(self, job: Job, state: str,
+                error: Optional[str] = None) -> None:
+        with self._lock:
+            job.state = state
+            job.finished = round(time.time(), 3)
+            job.error = error
+            self.job_store.save(job)
+            if state == DONE:
+                self._completed += 1
+        event: Dict[str, Any] = {"event": state}
+        if error:
+            event["error"] = error
+        self.job_store.append_event(job.id, event)
+
+    def __repr__(self) -> str:
+        return (f"SweepService(root={self.job_store.root!r}, "
+                f"jobs={self.jobs!r})")

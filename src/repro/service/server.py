@@ -1,0 +1,244 @@
+"""HTTP/JSON front end for the sweep service (stdlib only).
+
+A thin, threaded transport over :class:`~.queue.SweepService` — every
+route maps 1:1 onto a service method, the handler owns nothing but
+parsing and status codes:
+
+===========  ==============================  =================================
+Method       Path                            Meaning
+===========  ==============================  =================================
+``POST``     ``/jobs``                       submit a JobSpec document
+``GET``      ``/jobs``                       list all jobs (snapshots)
+``GET``      ``/jobs/<id>``                  one job snapshot
+``GET``      ``/jobs/<id>/result``           the result document (raw bytes)
+``GET``      ``/jobs/<id>/events``           NDJSON progress (``?since=N``)
+``DELETE``   ``/jobs/<id>``                  cancel
+``GET``      ``/healthz``                    liveness probe
+``GET``      ``/stats``                      service + store counters
+===========  ==============================  =================================
+
+Status codes: 200/202 on success, 400 for malformed specs, 404 for
+unknown jobs, 409 for a result that is not ready. Error bodies are
+always ``{"error": "<message>"}``.
+
+``ThreadingHTTPServer`` gives one thread per connection;
+:class:`~.queue.SweepService` is thread-safe, so concurrent clients
+need no extra coordination. Bind port 0 to get an ephemeral port
+(tests read it back from ``server.server_address``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import ServiceError
+from .jobs import DONE, FAILED, JobSpec
+from .queue import SweepService
+
+#: Largest request body the server will read (a JobSpec with a large
+#: template scenario fits easily; anything bigger is abuse).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto ``self.server.service``."""
+
+    server_version = "repro-sweepd/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -------------------------------------------------------
+
+    @property
+    def service(self) -> SweepService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def _send_json(self, status: int, doc: Any) -> None:
+        body = (json.dumps(doc, indent=1, sort_keys=True) + "\n") \
+            .encode("utf-8")
+        self._send(status, body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[bytes]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error(400, "bad Content-Length")
+            return None
+        if length <= 0:
+            self._send_error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        return self.rfile.read(length)
+
+    def _route(self) -> Tuple[str, Dict[str, Any]]:
+        parsed = urlparse(self.path)
+        return parsed.path.rstrip("/") or "/", parse_qs(parsed.query)
+
+    # -- methods -------------------------------------------------------
+
+    def do_POST(self) -> None:
+        path, _ = self._route()
+        if path != "/jobs":
+            self._send_error(404, f"no such route: POST {path}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as exc:
+            self._send_error(400, f"request body is not JSON: {exc}")
+            return
+        try:
+            spec = JobSpec.from_json(doc)
+            job = self.service.submit(spec)
+        except ServiceError as exc:
+            self._send_error(400, str(exc))
+            return
+        self._send_json(202, job.to_json())
+
+    def do_GET(self) -> None:
+        path, query = self._route()
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+            return
+        if path == "/stats":
+            self._send_json(200, self.service.stats())
+            return
+        if path == "/jobs":
+            self._send_json(200, {"jobs": [
+                job.to_json() for job in self.service.list_jobs()]})
+            return
+        parts = path.strip("/").split("/")
+        if parts[0] != "jobs" or len(parts) not in (2, 3):
+            self._send_error(404, f"no such route: GET {path}")
+            return
+        jid = parts[1]
+        job = self.service.get(jid)
+        if job is None:
+            self._send_error(404, f"no such job: {jid}")
+            return
+        if len(parts) == 2:
+            self._send_json(200, job.to_json())
+        elif parts[2] == "result":
+            self._send_result(jid, job)
+        elif parts[2] == "events":
+            self._send_events(jid, query)
+        else:
+            self._send_error(404, f"no such route: GET {path}")
+
+    def do_DELETE(self) -> None:
+        path, _ = self._route()
+        parts = path.strip("/").split("/")
+        if parts[0] != "jobs" or len(parts) != 2:
+            self._send_error(404, f"no such route: DELETE {path}")
+            return
+        job = self.service.cancel(parts[1])
+        if job is None:
+            self._send_error(404, f"no such job: {parts[1]}")
+            return
+        self._send_json(200, job.to_json())
+
+    # -- sub-resources -------------------------------------------------
+
+    def _send_result(self, jid: str, job: Any) -> None:
+        if job.state == FAILED:
+            self._send_error(409, f"job {jid} failed: {job.error}")
+            return
+        if job.state != DONE:
+            self._send_error(409,
+                             f"job {jid} is {job.state}, not done")
+            return
+        body = self.service.result_bytes(jid)
+        if body is None:  # done but file missing: crashed mid-write
+            self._send_error(409, f"job {jid} has no result document")
+            return
+        self._send(200, body)
+
+    def _send_events(self, jid: str, query: Dict[str, Any]) -> None:
+        try:
+            since = int(query.get("since", ["0"])[0])
+        except ValueError:
+            self._send_error(400, "since must be an integer")
+            return
+        lines = [json.dumps(event, sort_keys=True)
+                 for event in self.service.events(jid, since=since)]
+        body = ("\n".join(lines) + ("\n" if lines else "")) \
+            .encode("utf-8")
+        self._send(200, body, content_type="application/x-ndjson")
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The sweep-service HTTP daemon.
+
+    Owns a :class:`~.queue.SweepService`; :meth:`serve` starts both and
+    blocks until :meth:`shutdown`. Tests typically run
+    ``serve_background()`` on port 0 instead.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: SweepService,
+                 verbose: bool = False) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve(self) -> None:
+        """Run the service and the HTTP loop until shutdown."""
+        self.service.start()
+        try:
+            self.serve_forever(poll_interval=0.2)
+        finally:
+            self.service.stop()
+
+    def close(self) -> None:
+        """Stop serving and flush the service (idempotent)."""
+        self.shutdown()
+        self.server_close()
+        self.service.stop()
+
+
+def serve_background(service: SweepService, host: str = "127.0.0.1",
+                     port: int = 0) -> ReproServer:
+    """Start a server on a daemon thread; returns the live server.
+
+    The caller owns shutdown (``server.close()``). Used by tests and
+    the benchmark harness; the CLI runs :meth:`ReproServer.serve` in
+    the foreground instead.
+    """
+    import threading
+    server = ReproServer((host, port), service)
+    service.start()
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.2},
+                              name="sweep-service-http", daemon=True)
+    thread.start()
+    return server

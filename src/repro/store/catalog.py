@@ -7,7 +7,7 @@ the warm rerun really execute zero simulations. One JSON line per
 lookup event:
 
     {"key": "ab12...", "event": "hit", "task": "...:run_rate_delay_point",
-     "backend": "serial", "wall_s": 0.0012,
+     "backend": "serial", "wall_s": 0.0012, "ts": 1722950000.0,
      "summary": {"cca": "bbr", "rate_mbps": 2.0, "jitter": [],
                  "faults": [], "flows": 1, "seed": 11}}
 
@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import time
 from collections import Counter
 from typing import Any, Dict, Iterator, Mapping, Optional
 
@@ -97,6 +98,7 @@ class Catalog:
         line = json.dumps({
             "key": key, "event": event, "task": task,
             "backend": backend, "wall_s": round(wall_s, 6),
+            "ts": round(time.time(), 3),
             "summary": dict(summary or {}),
         }, sort_keys=True)
         with advisory_lock(self._lock_path):
@@ -168,6 +170,25 @@ class Catalog:
     def counts(self) -> Dict[str, int]:
         """Total events by kind, e.g. ``{"hit": 12, "miss": 3}``."""
         return dict(Counter(e.get("event", "?") for e in self.entries()))
+
+    def last_use_by_key(self) -> Dict[str, float]:
+        """Most recent hit/miss timestamp per cache key.
+
+        The GC age/LRU policy's notion of "recently used". ``fail``
+        events don't count (nothing was stored), and lines from before
+        the ``ts`` field existed are simply absent — the store falls
+        back to file mtime for those keys.
+        """
+        last: Dict[str, float] = {}
+        for entry in self.entries():
+            ts = entry.get("ts")
+            if entry.get("event") == "fail" \
+                    or not isinstance(ts, (int, float)):
+                continue
+            key = str(entry["key"])
+            if ts > last.get(key, float("-inf")):
+                last[key] = float(ts)
+        return last
 
     def __repr__(self) -> str:
         return f"Catalog({self.path!r})"

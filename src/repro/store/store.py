@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -91,6 +92,11 @@ class GcReport:
     removed_temp: int
     bytes_freed: int
     kept: int
+    #: Good entries removed by the ``max_age_days`` policy (unused for
+    #: longer than the bound).
+    removed_expired: int = 0
+    #: Good entries LRU-evicted by the ``max_bytes`` policy.
+    removed_evicted: int = 0
 
 
 class ResultStore:
@@ -229,11 +235,39 @@ class ResultStore:
         return VerifyReport(checked=checked, ok=ok, corrupt=corrupt,
                             temp=temp)
 
-    def gc(self) -> GcReport:
-        """Collect what :meth:`verify` flags; keeps every good entry."""
+    def gc(self, max_age_days: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> GcReport:
+        """Collect corrupt/temp files, then apply the retention policy.
+
+        Always removes what :meth:`verify` flags. The optional policy
+        knobs (``repro cache gc --max-age-days / --max-bytes``) also
+        prune *good* entries:
+
+        * ``max_age_days``: entries whose last use is older than this
+          are removed. "Last use" is the newest catalog ``hit``/``miss``
+          timestamp for the key (:meth:`Catalog.last_use_by_key`),
+          falling back to the entry file's mtime for keys the catalog
+          predates.
+        * ``max_bytes``: after age expiry, remaining entries are
+          evicted least-recently-used-first until the objects directory
+          holds at most this many bytes.
+
+        Both policies run under the store's advisory lock, so a
+        concurrent sweep never sees a half-applied eviction pass. A key
+        evicted here is simply a future cache miss — the content
+        address recomputes bit-identically.
+        """
+        if max_age_days is not None and max_age_days < 0:
+            raise ConfigurationError(
+                f"max_age_days must be >= 0, got {max_age_days}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigurationError(
+                f"max_bytes must be >= 0, got {max_bytes}")
         report = self.verify()
         freed = 0
         removed_corrupt = removed_temp = 0
+        removed_expired = removed_evicted = 0
+        kept = report.ok
         with advisory_lock(self._lock_path):
             for path in report.corrupt:
                 freed += self._size(path)
@@ -243,9 +277,56 @@ class ResultStore:
                 freed += self._size(path)
                 if self._unlink(path):
                     removed_temp += 1
+            if max_age_days is not None or max_bytes is not None:
+                survivors = self._entries_by_last_use()
+                if max_age_days is not None:
+                    horizon = time.time() - max_age_days * 86400.0
+                    expired = [e for e in survivors if e[0] < horizon]
+                    survivors = [e for e in survivors if e[0] >= horizon]
+                    for _, path, size in expired:
+                        freed += size
+                        if self._unlink(path):
+                            removed_expired += 1
+                            kept -= 1
+                if max_bytes is not None:
+                    total = sum(size for _, _, size in survivors)
+                    for _, path, size in survivors:  # oldest first
+                        if total <= max_bytes:
+                            break
+                        total -= size
+                        freed += size
+                        if self._unlink(path):
+                            removed_evicted += 1
+                            kept -= 1
         return GcReport(removed_corrupt=removed_corrupt,
                         removed_temp=removed_temp, bytes_freed=freed,
-                        kept=report.ok)
+                        kept=kept, removed_expired=removed_expired,
+                        removed_evicted=removed_evicted)
+
+    def _entries_by_last_use(self) -> List[Tuple[float, str, int]]:
+        """Good entries as ``(last_use, path, bytes)``, oldest first.
+
+        Last use comes from the catalog where available; entries the
+        catalog has never timestamped (pre-``ts`` history, or a catalog
+        wiped by hand) fall back to file mtime, which the atomic-rename
+        write set at store time.
+        """
+        last_use = self.catalog.last_use_by_key()
+        entries: List[Tuple[float, str, int]] = []
+        for path in self._object_paths():
+            name = os.path.basename(path)
+            if name.startswith(".tmp-"):
+                continue
+            key = name[:-len(".json")] if name.endswith(".json") else name
+            ts = last_use.get(key)
+            if ts is None:
+                try:
+                    ts = os.path.getmtime(path)
+                except OSError:
+                    continue  # vanished under us (concurrent gc)
+            entries.append((ts, path, self._size(path)))
+        entries.sort()
+        return entries
 
     def stats(self) -> StoreStats:
         entries = 0

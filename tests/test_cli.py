@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -324,3 +325,73 @@ class TestSweepMaxFailures:
                      "--max-failures", "2"])
         assert code == 0
         assert "delta_max" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    """The serve/submit/jobs verbs against an in-process daemon."""
+
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        from repro.service import SweepService, serve_background
+        from repro.store import ResultStore
+        service = SweepService(str(tmp_path / "jobs"),
+                               ResultStore(str(tmp_path / "cache")))
+        server = serve_background(service)
+        try:
+            yield f"http://127.0.0.1:{server.port}"
+        finally:
+            server.close()
+
+    def test_submit_writes_local_identical_json(self, daemon, tmp_path,
+                                                capsys):
+        out = tmp_path / "service.json"
+        local = tmp_path / "local.json"
+        common = ["--cca", "vegas", "--rates", "2,8", "--rm", "40",
+                  "--duration", "3", "--seed", "3"]
+        assert main(["submit", "sweep", *common, "--url", daemon,
+                     "--json", str(out)]) == 0
+        assert "submitted job" in capsys.readouterr().out
+        assert main(["sweep", *common, "--json", str(local)]) == 0
+        assert out.read_bytes() == local.read_bytes()
+
+    def test_jobs_listing_and_snapshot(self, daemon, capsys):
+        assert main(["submit", "sweep", "--cca", "vegas", "--rates",
+                     "2", "--rm", "40", "--duration", "3",
+                     "--url", daemon, "--json", os.devnull]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--url", daemon]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out and "1 job(s)" in out
+        jid = out.split()[0]
+        assert main(["jobs", jid, "--url", daemon]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["id"] == jid
+        assert snapshot["state"] == "done"
+        assert main(["jobs", jid, "--events", "--url", daemon]) == 0
+        events = [json.loads(line) for line in
+                  capsys.readouterr().out.splitlines()]
+        assert events[-1]["event"] == "done"
+
+    def test_submit_unknown_cca_exits_cleanly(self, daemon):
+        with pytest.raises(SystemExit):
+            main(["submit", "sweep", "--cca", "no-such", "--rates",
+                  "2", "--rm", "40", "--url", daemon])
+
+    def test_unreachable_daemon_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["jobs", "--url", "http://127.0.0.1:9"])
+
+
+class TestCacheGcFlags:
+    def test_gc_policy_flags_evict(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["sweep", "--cca", "vegas", "--rates", "2,8",
+                     "--rm", "40", "--duration", "3",
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", str(cache),
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "2 evicted" in out
+        assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+        assert "entries    0" in capsys.readouterr().out

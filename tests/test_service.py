@@ -1,0 +1,397 @@
+"""Sweep-service contract tests: durability, warmth, byte-identity.
+
+The acceptance criteria under test:
+
+* the HTTP API round-trips jobs (submit → poll → result → events) with
+  correct status codes on every error path;
+* a warm resubmission executes **zero** simulations — every point is a
+  catalog ``hit`` served from the shared store, and the daemon never
+  touches the worker pool (``warm`` flag);
+* a killed daemon resumes its queue from the job directory alone;
+* a submitted job's result bytes are identical to running the same
+  experiment locally, under the serial and process-pool backends alike.
+"""
+
+import contextlib
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import units
+from repro.analysis.harness import ResilientSweep, RunBudget
+from repro.analysis.sweep import sweep_rate_delay
+from repro.analysis.competition import competition_matrix
+from repro.errors import ServiceError
+from repro.service import (Job, JobSpec, JobStore, ReproServer,
+                           ServiceClient, SweepService, build_plan,
+                           job_id, render_result, serve_background)
+from repro.store import ResultStore
+
+RATES = [2.0, 8.0]
+BUDGET = RunBudget(retries=0, wall_clock=120.0)
+
+
+def _service(tmp_path, **kwargs):
+    store = ResultStore(str(tmp_path / "cache"))
+    kwargs.setdefault("budget", BUDGET)
+    return SweepService(str(tmp_path / "jobs"), store, **kwargs)
+
+
+def _sweep_spec(seed=3, rates=RATES):
+    return JobSpec.sweep("vegas", rates, 40.0, duration=3.0, seed=seed)
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live daemon on an ephemeral port, torn down after the test."""
+    service = _service(tmp_path)
+    server = serve_background(service)
+    client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                           timeout=60.0)
+    try:
+        yield service, client
+    finally:
+        server.close()
+
+
+class TestJobSpec:
+    def test_id_is_independent_of_omitted_defaults(self):
+        explicit = JobSpec.from_json({
+            "kind": "sweep", "cca": "vegas", "rates_mbps": RATES,
+            "rm_ms": 40.0, "duration": 3.0, "seed": 3,
+            "warmup_fraction": 0.5, "mss": 1500})
+        minimal = JobSpec.from_json({
+            "kind": "sweep", "cca": "vegas", "rates_mbps": RATES,
+            "rm_ms": 40.0, "duration": 3.0, "seed": 3})
+        assert job_id(explicit) == job_id(minimal)
+        assert job_id(explicit) == job_id(_sweep_spec())
+
+    def test_id_changes_with_params(self):
+        assert job_id(_sweep_spec(seed=3)) != job_id(_sweep_spec(seed=4))
+
+    @pytest.mark.parametrize("doc", [
+        "not a dict",
+        {"kind": "nope"},
+        {"kind": "sweep", "cca": "vegas", "rates_mbps": [],
+         "rm_ms": 40},
+        {"kind": "sweep", "cca": "no-such-cca", "rates_mbps": [1],
+         "rm_ms": 40},
+        {"kind": "sweep", "cca": "vegas", "rates_mbps": [1],
+         "rm_ms": -1},
+        {"kind": "sweep", "cca": "vegas", "rates_mbps": [1],
+         "rm_ms": 40, "bogus_field": 1},
+        {"kind": "matrix", "ccas": [], "rate_mbps": 10, "rm_ms": 40},
+        {"kind": "matrix", "ccas": ["vegas", "vegas"], "rate_mbps": 10,
+         "rm_ms": 40},
+    ])
+    def test_bad_specs_are_rejected(self, doc):
+        with pytest.raises(ServiceError):
+            JobSpec.from_json(doc)
+
+    def test_plan_matches_local_grid(self):
+        from repro.analysis.sweep import build_rate_delay_points
+        plan = build_plan(_sweep_spec())
+        _, points = build_rate_delay_points(
+            "vegas", RATES, units.ms(40.0), duration=3.0, seed=3)
+        assert plan.points == points
+
+
+class TestJobStore:
+    def test_snapshot_roundtrip(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = Job(id=job_id(_sweep_spec()), spec=_sweep_spec(),
+                  created=12.0, total=2, done=1)
+        store.save(job)
+        loaded = store.load(job.id)
+        assert loaded.to_json() == job.to_json()
+        assert [j.id for j in store.load_all()] == [job.id]
+
+    def test_corrupt_snapshot_reads_as_absent(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        jid = job_id(_sweep_spec())
+        os.makedirs(store.job_dir(jid))
+        with open(os.path.join(store.job_dir(jid), "job.json"),
+                  "w") as fh:
+            fh.write("{torn")
+        assert store.load(jid) is None
+        assert store.load_all() == []
+
+    def test_events_are_sequenced_and_filterable(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        for i in range(3):
+            assert store.append_event("ab12", {"event": f"e{i}"}) == i
+        assert [e["event"] for e in store.events("ab12")] \
+            == ["e0", "e1", "e2"]
+        assert [e["seq"] for e in store.events("ab12", since=1)] \
+            == [1, 2]
+        store.clear_run_state("ab12")
+        assert list(store.events("ab12")) == []
+        assert store.append_event("ab12", {"event": "fresh"}) == 0
+
+
+class TestServiceExecution:
+    def test_submit_runs_to_done_with_progress(self, tmp_path):
+        service = _service(tmp_path)
+        service.start()
+        try:
+            job = service.submit(_sweep_spec())
+            job = _wait(service, job.id)
+            assert job.state == "done"
+            assert (job.total, job.done, job.cached, job.failed) \
+                == (len(RATES), len(RATES), 0, 0)
+            assert not job.warm
+            events = [e["event"] for e in service.events(job.id)]
+            assert events[0] == "queued" and events[-1] == "done"
+            assert events.count("point") == len(RATES)
+        finally:
+            service.stop()
+
+    def test_result_bytes_identical_to_local_sweep(self, tmp_path):
+        service = _service(tmp_path)
+        service.start()
+        try:
+            job = _wait(service,
+                        service.submit(_sweep_spec()).id)
+        finally:
+            service.stop()
+        curve = sweep_rate_delay("vegas", RATES, units.ms(40.0),
+                                 duration=3.0, seed=3, budget=BUDGET)
+        local = render_result(curve.to_json()).encode()
+        assert service.result_bytes(job.id) == local
+
+    def test_pool_backend_result_is_byte_identical(self, tmp_path):
+        service = _service(tmp_path, jobs=2)
+        service.start()
+        try:
+            job = _wait(service,
+                        service.submit(_sweep_spec()).id)
+        finally:
+            service.stop()
+        curve = sweep_rate_delay("vegas", RATES, units.ms(40.0),
+                                 duration=3.0, seed=3, budget=BUDGET)
+        assert service.result_bytes(job.id) \
+            == render_result(curve.to_json()).encode()
+
+    def test_matrix_job_matches_local_matrix(self, tmp_path):
+        service = _service(tmp_path)
+        service.start()
+        spec = JobSpec.matrix(["vegas", "reno"], 8.0, 40.0,
+                              duration=3.0, seed=5)
+        try:
+            job = _wait(service, service.submit(spec).id, timeout=120)
+        finally:
+            service.stop()
+        assert job.state == "done"
+        matrix = competition_matrix(
+            ["vegas", "reno"], rate=units.mbps(8.0), rm=units.ms(40.0),
+            duration=3.0, seed=5, budget=BUDGET)
+        assert service.result_bytes(job.id) \
+            == render_result(matrix.to_json()).encode()
+
+    def test_warm_resubmit_executes_zero_simulations(self, tmp_path):
+        service = _service(tmp_path)
+        service.start()
+        try:
+            cold = _wait(service, service.submit(_sweep_spec()).id)
+            assert service.store.catalog.counts() \
+                == {"miss": len(RATES)}
+            warm = _wait(service, service.submit(_sweep_spec()).id)
+            assert warm.id == cold.id
+            assert warm.state == "done"
+            assert warm.warm
+            assert (warm.cached, warm.done) == (len(RATES), 0)
+            # Catalog ground truth: the rerun only ever *hit*.
+            assert service.store.catalog.counts() \
+                == {"miss": len(RATES), "hit": len(RATES)}
+        finally:
+            service.stop()
+        assert service.result_bytes(warm.id) \
+            == service.result_bytes(cold.id)
+
+    def test_local_sweep_warms_the_service(self, tmp_path):
+        """The store is shared: a local --cache-dir run pre-warms jobs."""
+        service = _service(tmp_path)
+        sweep_rate_delay("vegas", RATES, units.ms(40.0), duration=3.0,
+                         seed=3, store=service.store, budget=BUDGET)
+        service.start()
+        try:
+            job = _wait(service, service.submit(_sweep_spec()).id)
+        finally:
+            service.stop()
+        assert job.warm and job.cached == len(RATES)
+
+    def test_active_jobs_coalesce(self, tmp_path):
+        service = _service(tmp_path)  # not started: stays queued
+        first = service.submit(_sweep_spec())
+        second = service.submit(_sweep_spec())
+        assert first is second
+        assert service.stats()["counters"]["coalesced"] == 1
+
+    def test_cancel_queued_job(self, tmp_path):
+        service = _service(tmp_path)  # not started: nothing dequeues
+        job = service.submit(_sweep_spec())
+        assert service.cancel(job.id).state == "cancelled"
+        # Starting the service must not resurrect it.
+        service.start()
+        try:
+            time.sleep(0.2)
+            assert service.get(job.id).state == "cancelled"
+        finally:
+            service.stop()
+
+    def test_restarted_service_resumes_queued_job(self, tmp_path):
+        first = _service(tmp_path)
+        job = first.submit(_sweep_spec())  # never started: stays queued
+        assert first.get(job.id).state == "queued"
+        # A fresh daemon over the same directories picks the job up.
+        second = _service(tmp_path)
+        second.start()
+        try:
+            resumed = _wait(second, job.id)
+            assert resumed.state == "done"
+            assert resumed.runs == 1
+        finally:
+            second.stop()
+        curve = sweep_rate_delay("vegas", RATES, units.ms(40.0),
+                                 duration=3.0, seed=3, budget=BUDGET)
+        assert second.result_bytes(job.id) \
+            == render_result(curve.to_json()).encode()
+
+    def test_failed_job_reports_error(self, tmp_path):
+        service = _service(
+            tmp_path, max_failures=0,
+            budget=RunBudget(max_events=10, retries=0))
+        service.start()
+        try:
+            job = _wait(service, service.submit(_sweep_spec()).id)
+            assert job.state == "failed"
+            assert "max_failures" in job.error
+        finally:
+            service.stop()
+
+
+@contextlib.contextmanager
+def _http_only(tmp_path):
+    """HTTP up, dispatcher down: submitted jobs stay ``queued``."""
+    service = _service(tmp_path)
+    server = ReproServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.1},
+                              daemon=True)
+    thread.start()
+    try:
+        yield ServiceClient(f"http://127.0.0.1:{server.port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _wait(service, jid, timeout=90.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = service.get(jid)
+        if job.state in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {jid} still {service.get(jid).state}")
+
+
+class TestHttpApi:
+    def test_health_and_stats(self, served):
+        _, client = served
+        assert client.healthz()
+        stats = client.stats()
+        assert stats["jobs"] == {}
+        assert stats["store"]["entries"] == 0
+
+    def test_submit_wait_fetch_roundtrip(self, served):
+        service, client = served
+        raw = client.submit_and_wait(_sweep_spec(), timeout=90)
+        curve = sweep_rate_delay("vegas", RATES, units.ms(40.0),
+                                 duration=3.0, seed=3, budget=BUDGET)
+        assert raw == render_result(curve.to_json()).encode()
+        jobs = client.jobs()
+        assert [j["state"] for j in jobs] == ["done"]
+        events = list(client.events(jobs[0]["id"]))
+        assert events[-1]["event"] == "done"
+        assert list(client.events(jobs[0]["id"],
+                                  since=events[-1]["seq"])) \
+            == [events[-1]]
+
+    def test_unknown_job_is_404(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.job("feedfacefeedface")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.result_bytes("feedfacefeedface")
+        assert err.value.status == 404
+
+    def test_bad_spec_is_400(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.submit(JobSpec("sweep", {"cca": "vegas"}))
+        assert err.value.status == 400
+
+    def test_unready_result_is_409(self, tmp_path):
+        with _http_only(tmp_path) as client:
+            job = client.submit(_sweep_spec())
+            assert job["state"] == "queued"
+            with pytest.raises(ServiceError) as err:
+                client.result_bytes(job["id"])
+            assert err.value.status == 409
+
+    def test_unknown_route_is_404(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_cancel_over_http(self, tmp_path):
+        with _http_only(tmp_path) as client:
+            job = client.submit(_sweep_spec())
+            assert client.cancel(job["id"])["state"] == "cancelled"
+
+    def test_concurrent_submissions_coalesce(self, served):
+        service, client = served
+        snapshots = []
+
+        def submit():
+            snapshots.append(client.submit(_sweep_spec()))
+
+        threads = [threading.Thread(target=submit) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({s["id"] for s in snapshots}) == 1
+        _wait(service, snapshots[0]["id"])
+        # One execution total, no matter how many clients raced.
+        assert service.stats()["counters"]["completed"] == 1
+
+
+class TestStopCheck:
+    """The harness hook the service's cancellation rides on."""
+
+    def test_stop_check_ends_sweep_at_point_boundary(self):
+        ran = []
+
+        def run_point(params, budget):
+            ran.append(params["i"])
+            return {"i": params["i"]}
+
+        sweep = ResilientSweep(run_point, budget=BUDGET,
+                               stop_check=lambda: len(ran) >= 2)
+        outcome = sweep.run([(f"p{i}", {"i": i}) for i in range(5)])
+        assert outcome.stopped
+        assert len(outcome.completed) == 2
+
+    def test_no_stop_check_runs_everything(self):
+        sweep = ResilientSweep(lambda params, budget: params,
+                               budget=BUDGET)
+        outcome = sweep.run([(f"p{i}", {"i": i}) for i in range(3)])
+        assert not outcome.stopped
+        assert len(outcome.completed) == 3

@@ -380,3 +380,148 @@ class TestBackendsShareTheStore:
         assert counts == {"miss": 4, "hit": 4}
         backends = {e["backend"] for e in store.catalog.entries()}
         assert backends == {"process-pool", "serial"}
+
+
+class TestGcRetentionPolicy:
+    """Age and size bounds for ``repro cache gc``."""
+
+    def _put(self, store, i):
+        key = f"{i:02x}" + "ab" * 31
+        store.put(key, {"v": i}, task="t")
+        return key
+
+    def test_expired_entries_removed_by_catalog_ts(self, store,
+                                                   monkeypatch):
+        import repro.store.catalog as catalog_module
+        old_key, new_key = self._put(store, 0), self._put(store, 1)
+        now = catalog_module.time.time()
+        monkeypatch.setattr(catalog_module.time, "time",
+                            lambda: now - 10 * 86400)
+        store.catalog.record(old_key, "miss")
+        monkeypatch.setattr(catalog_module.time, "time", lambda: now)
+        store.catalog.record(new_key, "miss")
+        report = store.gc(max_age_days=1.0)
+        assert report.removed_expired == 1
+        assert report.kept == 1
+        assert not store.contains(old_key)
+        assert store.contains(new_key)
+
+    def test_uncataloged_entries_age_by_mtime(self, store):
+        old_key, new_key = self._put(store, 0), self._put(store, 1)
+        old_path = store.path_for(old_key)
+        stale = os.path.getmtime(old_path) - 10 * 86400
+        os.utime(old_path, (stale, stale))
+        report = store.gc(max_age_days=1.0)
+        assert report.removed_expired == 1
+        assert not store.contains(old_key)
+        assert store.contains(new_key)
+
+    def test_lru_eviction_to_byte_cap(self, store, monkeypatch):
+        import repro.store.catalog as catalog_module
+        keys = [self._put(store, i) for i in range(4)]
+        now = catalog_module.time.time()
+        # Touch keys in order: key i used at now - (3 - i), so key 3
+        # is the most recently used and must survive longest.
+        for i, key in enumerate(keys):
+            monkeypatch.setattr(catalog_module.time, "time",
+                                lambda i=i: now - (3 - i))
+            store.catalog.record(key, "hit")
+        entry_bytes = os.path.getsize(store.path_for(keys[0]))
+        report = store.gc(max_bytes=2 * entry_bytes)
+        assert report.removed_evicted == 2
+        assert report.kept == 2
+        assert [store.contains(k) for k in keys] \
+            == [False, False, True, True]
+
+    def test_zero_byte_cap_empties_the_store(self, store):
+        for i in range(3):
+            self._put(store, i)
+        report = store.gc(max_bytes=0)
+        assert report.removed_evicted == 3
+        assert store.stats().entries == 0
+
+    def test_policy_knobs_validated(self, store):
+        with pytest.raises(ConfigurationError):
+            store.gc(max_age_days=-1)
+        with pytest.raises(ConfigurationError):
+            store.gc(max_bytes=-1)
+
+    def test_default_gc_keeps_good_entries(self, store):
+        keys = [self._put(store, i) for i in range(3)]
+        report = store.gc()
+        assert report.kept == 3
+        assert report.removed_expired == report.removed_evicted == 0
+        assert all(store.contains(k) for k in keys)
+
+    def test_evicted_key_is_a_clean_miss(self, store):
+        key = self._put(store, 7)
+        store.gc(max_bytes=0)
+        found, _ = store.fetch(key)
+        assert not found
+
+
+class TestCatalogLastUse:
+    def test_last_use_tracks_newest_hit_or_miss(self, tmp_path,
+                                                monkeypatch):
+        import repro.store.catalog as catalog_module
+        catalog = Catalog(str(tmp_path / "catalog.jsonl"))
+        for ts, event in ((100.0, "miss"), (200.0, "hit"),
+                          (300.0, "fail")):
+            monkeypatch.setattr(catalog_module.time, "time",
+                                lambda ts=ts: ts)
+            catalog.record("ab12", event)
+        last = catalog.last_use_by_key()
+        # The fail at t=300 stored nothing, so last use stays at 200.
+        assert last == {"ab12": 200.0}
+
+    def test_pre_ts_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "catalog.jsonl"
+        path.write_text('{"key": "ab12", "event": "hit"}\n')
+        assert Catalog(str(path)).last_use_by_key() == {}
+
+
+class TestConcurrentWriters:
+    """The sweep service's threads share one catalog and store."""
+
+    def test_threaded_catalog_appends_never_tear(self, tmp_path):
+        import threading
+        catalog = Catalog(str(tmp_path / "catalog.jsonl"))
+        writers, per_writer = 8, 25
+
+        def append(worker):
+            for i in range(per_writer):
+                catalog.record(f"{worker:02x}{i:02x}" + "ab" * 30,
+                               "miss", task=f"w{worker}",
+                               summary={"i": i})
+
+        threads = [threading.Thread(target=append, args=(w,))
+                   for w in range(writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        entries = list(catalog.entries())
+        # Every line parses and none were lost or interleaved.
+        assert len(entries) == writers * per_writer
+        assert catalog.counts() == {"miss": writers * per_writer}
+        with open(catalog.path, "r", encoding="utf-8") as fh:
+            raw_lines = [line for line in fh if line.strip()]
+        assert len(raw_lines) == writers * per_writer
+
+    def test_threaded_store_puts_all_land(self, store):
+        import threading
+        keys = [f"{i:02x}" + "cd" * 31 for i in range(16)]
+
+        def put(key, i):
+            store.put(key, {"v": i}, task="t")
+            store.catalog.record(key, "miss", task="t")
+
+        threads = [threading.Thread(target=put, args=(key, i))
+                   for i, key in enumerate(keys)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(store.contains(key) for key in keys)
+        assert store.catalog.counts() == {"miss": len(keys)}
+        assert store.verify().clean
