@@ -76,6 +76,10 @@ class PointOutcome:
     #: simulating; the content address is in ``cache_key`` either way.
     cached: bool = False
     cache_key: Optional[str] = None
+    #: True when the point simulated fine but the store could not
+    #: persist it (ENOSPC et al.) — the result is correct and used,
+    #: just not cached; a later run recomputes it.
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -118,11 +122,14 @@ def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
         if not refresh:
             found, cached = store.fetch(ckey)
             if found:
-                store.catalog.record(
-                    ckey, "hit", task=task_name(run_point),
-                    backend=backend_name,
-                    wall_s=time.monotonic() - start,
-                    summary=summarize_params(params))
+                try:
+                    store.catalog.record(
+                        ckey, "hit", task=task_name(run_point),
+                        backend=backend_name,
+                        wall_s=time.monotonic() - start,
+                        summary=summarize_params(params))
+                except OSError:
+                    pass  # catalog is advisory; the hit still serves
                 return PointOutcome(key=key, params=params,
                                     result=cached, cached=True,
                                     cache_key=ckey)
@@ -147,11 +154,14 @@ def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
             message=_first_line(exc), attempts=max(attempts, 1),
             elapsed=elapsed, params=params, kind=kind, bundle=bundle)
         if store is not None and ckey is not None:
-            store.catalog.record(ckey, "fail",
-                                 task=task_name(run_point),
-                                 backend=backend_name,
-                                 wall_s=elapsed,
-                                 summary=summarize_params(params))
+            try:
+                store.catalog.record(ckey, "fail",
+                                     task=task_name(run_point),
+                                     backend=backend_name,
+                                     wall_s=elapsed,
+                                     summary=summarize_params(params))
+            except OSError:
+                pass  # catalog is advisory; the failure is recorded
         return PointOutcome(key=key, params=params, failure=failure,
                             cache_key=ckey)
 
@@ -167,12 +177,20 @@ def execute_point(run_point: RunPoint, key: str, params: Dict[str, Any],
         # instead of killing the whole sweep from inside a worker.
         return fail(exc, "internal")
     if store is not None and ckey is not None:
-        store.put(ckey, result, meta={"point": key},
-                  task=task_name(run_point))
-        store.catalog.record(ckey, "miss", task=task_name(run_point),
-                             backend=backend_name,
-                             wall_s=time.monotonic() - start,
-                             summary=summarize_params(params))
+        try:
+            store.put(ckey, result, meta={"point": key},
+                      task=task_name(run_point))
+            store.catalog.record(ckey, "miss", task=task_name(run_point),
+                                 backend=backend_name,
+                                 wall_s=time.monotonic() - start,
+                                 summary=summarize_params(params))
+        except OSError:
+            # Degrade to no-cache: the result is already in hand and
+            # correct — a full (or chaos-injected) disk must not turn
+            # a finished simulation into a failed point. The point is
+            # simply not persisted and recomputes next time.
+            return PointOutcome(key=key, params=params, result=result,
+                                cache_key=ckey, degraded=True)
     return PointOutcome(key=key, params=params, result=result,
                         cache_key=ckey)
 

@@ -175,6 +175,10 @@ class SweepOutcome:
     resumed: int = 0
     hits: int = 0
     misses: int = 0
+    #: Points that simulated fine but could not be persisted to the
+    #: store (ENOSPC and friends) — a subset of ``misses``; the sweep
+    #: degraded to no-cache mode for them instead of failing.
+    degraded: int = 0
     #: True when a ``stop_check`` ended the sweep before every point
     #: ran (the sweep-service's cooperative job cancellation). The
     #: checkpoint holds everything that finished.
@@ -444,7 +448,7 @@ class ResilientSweep:
         pending = [(key, params) for key, params in points
                    if key not in completed and key not in failed_keys]
         resumed = len(points) - len(pending)
-        hits = misses = 0
+        hits = misses = degraded = 0
         stopped = False
         self._check_failure_threshold(failures)
         with self._trap_signals():
@@ -465,6 +469,10 @@ class ResilientSweep:
                     if outcome.cached:
                         hits += 1
                         self._note(outcome.key, "cached")
+                    elif outcome.degraded:
+                        misses += 1
+                        degraded += 1
+                        self._note(outcome.key, "degraded")
                     else:
                         misses += 1
                         self._note(outcome.key, "ok")
@@ -487,7 +495,7 @@ class ResilientSweep:
             raise KeyboardInterrupt
         return SweepOutcome(completed=completed, failures=failures,
                             resumed=resumed, hits=hits, misses=misses,
-                            stopped=stopped)
+                            degraded=degraded, stopped=stopped)
 
     def _check_failure_threshold(self,
                                  failures: List[RunFailure]) -> None:

@@ -717,7 +717,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"{'y' if report.kept == 1 else 'ies'} kept")
         return 0
     if args.action == "verify":
-        report = store.verify()
+        report = store.verify(repair=args.repair)
         print(f"checked {report.checked} entr"
               f"{'y' if report.checked == 1 else 'ies'}: "
               f"{report.ok} ok, {len(report.corrupt)} corrupt, "
@@ -726,8 +726,17 @@ def cmd_cache(args: argparse.Namespace) -> int:
             print(f"  corrupt: {path}")
         for path in report.temp:
             print(f"  temp:    {path}")
+        if report.repaired:
+            for path in report.quarantined:
+                print(f"  quarantined -> {path}")
+            print(f"quarantined {len(report.quarantined)} file(s) "
+                  f"under {store.quarantine_dir}; catalog sealed, "
+                  f"last-use index rebuilt")
+            # A repaired store is clean by construction; re-verify so
+            # the exit code reflects what the *next* reader will see.
+            return 0 if store.verify().clean else 1
         if not report.clean:
-            print("run `repro cache gc` to collect")
+            print("run `repro cache verify --repair` to quarantine")
             return 1
         return 0
     raise SystemExit(f"unknown cache action {args.action!r}")
@@ -739,24 +748,38 @@ DEFAULT_SERVICE_URL = os.environ.get("REPRO_SERVICE_URL",
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the sweep-service daemon in the foreground."""
-    from .service import ReproServer, SweepService
+    from .service import (ChaosPolicy, FaultyFS, ReproServer,
+                          SweepService)
     _apply_invariants(args)
     if not args.cache_dir:
         raise SystemExit(
             "serve wants --cache-dir DIR (or $REPRO_CACHE_DIR): the "
             "shared result store is the point of the daemon")
-    store = ResultStore(args.cache_dir)
+    chaos = fs = None
+    if args.chaos:
+        try:
+            chaos = ChaosPolicy.load(args.chaos)
+        except (OSError, ValueError, ConfigurationError) as exc:
+            raise SystemExit(f"bad --chaos spec: {exc}")
+        fs = FaultyFS(chaos)
+    store = ResultStore(args.cache_dir, fs=fs)
     service = SweepService(
         args.job_dir, store, jobs=args.jobs,
         budget=RunBudget(max_events=args.max_events,
                          wall_clock=args.wall_clock),
-        max_failures=args.max_failures)
+        max_failures=args.max_failures,
+        lease_ttl=args.lease_ttl, max_attempts=args.max_attempts,
+        fs=fs)
     server = ReproServer((args.host, args.port), service,
-                         verbose=args.verbose)
+                         verbose=args.verbose, chaos=chaos)
     print(f"sweep service listening on "
           f"http://{args.host}:{server.port}")
     print(f"  jobs:  {service.job_store.root}")
     print(f"  store: {store.root}")
+    if chaos is not None:
+        armed = ", ".join(site.name for site in chaos.sites
+                          if site.rate > 0) or "none"
+        print(f"  chaos: seed {chaos.seed}, armed sites: {armed}")
     sys.stdout.flush()
     try:
         server.serve()
@@ -799,6 +822,8 @@ def _print_job_line(job: Dict[str, Any]) -> None:
         flags.append(f"{progress['cached']} cached")
     if progress.get("failed"):
         flags.append(f"{progress['failed']} failed")
+    if job.get("degraded"):
+        flags.append("degraded")
     suffix = f"  [{', '.join(flags)}]" if flags else ""
     kind = job.get("spec", {}).get("kind", "?")
     print(f"{job['id']}  {job['state']:9s}  {kind:6s} "
@@ -856,7 +881,7 @@ def _jobs_report(args: argparse.Namespace, client) -> int:
     if args.job_id is None:
         if args.cancel or args.events:
             raise SystemExit("--cancel/--events want a JOB_ID")
-        jobs = client.jobs()
+        jobs = client.jobs(state=args.state)
         for job in jobs:
             _print_job_line(job)
         counters = client.stats()["counters"]
@@ -1166,6 +1191,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=float, default=None, metavar="N",
         help="gc: after age expiry, evict least-recently-used entries "
              "until the store holds at most N bytes")
+    cache_parser.add_argument(
+        "--repair", action="store_true",
+        help="verify: quarantine corrupt objects and orphaned temp "
+             "files under quarantine/, reseal the catalog, and "
+             "rebuild the last-use index (exit 0 once clean)")
     cache_parser.set_defaults(func=cmd_cache)
 
     serve_parser = sub.add_parser(
@@ -1195,6 +1225,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-failures", type=int, default=None, metavar="N",
         help="fail a job once more than N of its points have failed "
              "(default: run every point, report failures)")
+    serve_parser.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="running-job lease duration; an expired lease means the "
+             "worker died and the job is taken over (default 30)")
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="executions a job may start before its next lease "
+             "expiry dead-letters it (default 3)")
+    serve_parser.add_argument(
+        "--chaos", default=None, metavar="SPEC.json",
+        help="arm deterministic fault injection from a ChaosPolicy "
+             "JSON spec (seeded; see docs/ROBUSTNESS.md)")
     serve_parser.add_argument(
         "--verbose", action="store_true",
         help="log every HTTP request to stderr")
@@ -1263,6 +1305,12 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_parser.add_argument(
         "--timeout", type=float, default=30.0,
         help="per-request timeout in seconds (default 30)")
+    jobs_parser.add_argument(
+        "--state", default=None, metavar="STATE",
+        choices=["queued", "running", "done", "failed", "cancelled",
+                 "dead"],
+        help="listing only: restrict to jobs in STATE (e.g. 'dead' "
+             "for the dead-letter queue)")
     jobs_parser.add_argument(
         "--events", action="store_true",
         help="print the job's NDJSON progress events")

@@ -58,11 +58,16 @@ class ServiceError(ReproError):
     Attributes:
         status: the HTTP status code (0 when the failure happened
             before a response arrived, e.g. connection refused).
+        retry_after: the server's ``Retry-After`` hint in seconds, when
+            the error response carried one (otherwise None). The
+            client's retry loop prefers this over its own backoff.
     """
 
-    def __init__(self, message: str, status: int = 0) -> None:
+    def __init__(self, message: str, status: int = 0,
+                 retry_after: float | None = None) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class SimulationError(ReproError):

@@ -21,18 +21,29 @@ Layering (strictly one-way):
 * :mod:`repro.service.client` — :class:`ServiceClient`, the urllib
   client used by ``repro submit`` / ``repro jobs``.
 
+The control plane is chaos-hardened: :mod:`repro.service.chaos`
+provides a deterministic, seeded :class:`ChaosPolicy` injecting faults
+at named HTTP and filesystem sites (plus :class:`FaultyFS`, the
+write-path shim), and every layer is built to survive it — retrying
+client, job leases with expired-lease takeover and a ``dead``
+dead-letter state, ENOSPC degrade-to-no-cache, and store self-repair
+(``repro cache verify --repair``).
+
 From the CLI: ``repro serve --job-dir DIR --cache-dir DIR`` starts a
-daemon; ``repro submit sweep --cca vegas ...`` runs an experiment
-through it; ``repro jobs`` inspects the queue.
+daemon (add ``--chaos SPEC.json`` to arm fault injection);
+``repro submit sweep --cca vegas ...`` runs an experiment through it;
+``repro jobs`` inspects the queue (``--state dead`` for the
+dead-letter listing).
 """
 
+from .chaos import ChaosPolicy, ChaosSite, FaultyFS
 from .client import ServiceClient
 from .jobs import Job, JobSpec, JobStore, build_plan, job_id
 from .queue import SweepService, render_result
 from .server import ReproServer, serve_background
 
 __all__ = [
-    "Job", "JobSpec", "JobStore", "ReproServer", "ServiceClient",
-    "SweepService", "build_plan", "job_id", "render_result",
-    "serve_background",
+    "ChaosPolicy", "ChaosSite", "FaultyFS", "Job", "JobSpec",
+    "JobStore", "ReproServer", "ServiceClient", "SweepService",
+    "build_plan", "job_id", "render_result", "serve_background",
 ]

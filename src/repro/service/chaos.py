@@ -1,0 +1,314 @@
+"""Deterministic fault injection for the control plane.
+
+The simulator earned its robustness through seeded adversaries — jitter
+elements, fault windows, the scenario fuzzer. This module turns the
+same discipline on the serving path itself: a :class:`ChaosPolicy` is a
+seeded, named-site fault schedule that the HTTP server and the durable
+stores consult at every operation, so "the daemon survives a flaky disk
+and a lossy network" is a reproducible test, not an anecdote.
+
+Fault sites (each independently configured with a fire ``rate`` and an
+optional total ``limit``):
+
+=================  ====================================================
+Site               Effect
+=================  ====================================================
+``http.delay``     sleep ``delay_s`` before handling a request
+``http.drop``      close the connection without any response
+``http.error``     answer 5xx (``status``) with optional ``Retry-After``
+``http.truncate``  send a full ``Content-Length`` but half the body
+``fs.enospc``      raise ``OSError(ENOSPC)`` from a durable write
+``fs.torn``        write half the text, non-atomically, to the live path
+``fs.bitflip``     corrupt one character of the written text
+``fs.fsync_lost``  the rename lands but the content is empty
+=================  ====================================================
+
+Determinism: every draw is ``derive_seed(seed, "chaos", site, n)``
+(the :mod:`repro.spec.seeds` tree) where ``n`` is the per-site draw
+counter — the same policy object replayed against the same operation
+sequence fires identically, which is what lets CI pin a chaos seed and
+assert byte-identical results. The policy pickles (counters and all)
+so a chaotic :class:`~repro.store.ResultStore` can cross into pool
+workers; each worker then advances its own counter copy, which is the
+same per-process determinism the sim's RNG streams have.
+
+:class:`FaultyFS` is the write-side shim: a
+:class:`~repro.store.fsio.FileIO` that consults the policy before every
+atomic write or append. Wire it in with
+``ResultStore(root, fs=FaultyFS(policy))`` (and/or ``JobStore``); hand
+the same policy to :class:`~.server.ReproServer` for the HTTP sites.
+From the CLI: ``repro serve --chaos SPEC.json`` where the spec is::
+
+    {"seed": 7,
+     "sites": {"http.error": {"rate": 0.3, "retry_after": 0.1},
+               "fs.torn": {"rate": 0.2, "limit": 3}}}
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..spec.seeds import derive_seed
+from ..store.fsio import FileIO
+
+#: Sites consulted by the HTTP request handler.
+HTTP_SITES = ("http.delay", "http.drop", "http.error", "http.truncate")
+#: Sites consulted by :class:`FaultyFS` durable writes.
+FS_SITES = ("fs.enospc", "fs.torn", "fs.bitflip", "fs.fsync_lost")
+SITES = HTTP_SITES + FS_SITES
+
+#: Default injected-delay length for ``http.delay``.
+DEFAULT_DELAY_S = 0.05
+#: Default status for ``http.error``.
+DEFAULT_ERROR_STATUS = 503
+
+
+@dataclass(frozen=True)
+class ChaosSite:
+    """One fault site's schedule: how often, how many, with what shape."""
+
+    name: str
+    #: Fire probability per draw, in [0, 1].
+    rate: float
+    #: Total fires allowed (None = unbounded). A capped site lets a
+    #: test inject "a few" faults while guaranteeing eventual success.
+    limit: Optional[int] = None
+    #: ``http.delay`` only: injected latency in seconds.
+    delay_s: float = DEFAULT_DELAY_S
+    #: ``http.error`` only: response status.
+    status: int = DEFAULT_ERROR_STATUS
+    #: ``http.error`` only: Retry-After header value (seconds).
+    retry_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.name not in SITES:
+            raise ConfigurationError(
+                f"unknown chaos site {self.name!r}; choose from "
+                f"{', '.join(SITES)}")
+        if not 0.0 <= float(self.rate) <= 1.0:
+            raise ConfigurationError(
+                f"chaos rate must be in [0, 1], got {self.rate!r}")
+        if self.limit is not None and int(self.limit) < 0:
+            raise ConfigurationError(
+                f"chaos limit must be >= 0, got {self.limit!r}")
+        if not float(self.delay_s) >= 0.0:
+            raise ConfigurationError(
+                f"chaos delay_s must be >= 0, got {self.delay_s!r}")
+        if not 400 <= int(self.status) <= 599:
+            raise ConfigurationError(
+                f"chaos status must be 4xx/5xx, got {self.status!r}")
+
+    def to_json(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"rate": self.rate}
+        if self.limit is not None:
+            doc["limit"] = self.limit
+        if self.name == "http.delay" and self.delay_s != DEFAULT_DELAY_S:
+            doc["delay_s"] = self.delay_s
+        if self.name == "http.error":
+            if self.status != DEFAULT_ERROR_STATUS:
+                doc["status"] = self.status
+            if self.retry_after is not None:
+                doc["retry_after"] = self.retry_after
+        return doc
+
+
+class ChaosPolicy:
+    """A seeded fault schedule over named sites.
+
+    Thread-safe: the HTTP handler threads and the dispatcher share one
+    policy, and the per-site draw counters advance under a lock so the
+    fire sequence is a pure function of ``(seed, per-site draw index)``
+    regardless of thread interleaving at *other* sites.
+    """
+
+    def __init__(self, seed: int = 0,
+                 sites: Iterable[ChaosSite] = ()) -> None:
+        self.seed = int(seed)
+        self._sites: Dict[str, ChaosSite] = {s.name: s for s in sites}
+        self._draws: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- picklability (a chaotic store crosses into pool workers) ------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- the draw ------------------------------------------------------
+
+    def fires(self, site_name: str) -> Optional[ChaosSite]:
+        """One deterministic draw at ``site_name``.
+
+        Returns the site config when the fault fires (and counts it
+        against the site's ``limit``), None otherwise. Unconfigured
+        sites never fire and consume no draws.
+        """
+        with self._lock:
+            site = self._sites.get(site_name)
+            if site is None or site.rate <= 0.0:
+                return None
+            n = self._draws.get(site_name, 0)
+            self._draws[site_name] = n + 1
+            fired = self._fired.get(site_name, 0)
+            if site.limit is not None and fired >= site.limit:
+                return None
+            draw = derive_seed(self.seed, "chaos", site_name, n) / 2.0**63
+            if draw < site.rate:
+                self._fired[site_name] = fired + 1
+                return site
+            return None
+
+    def counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{"draws": ..., "fired": ...}`` accounting."""
+        with self._lock:
+            return {"draws": dict(self._draws),
+                    "fired": dict(self._fired)}
+
+    @property
+    def active(self) -> bool:
+        """True when any site can ever fire."""
+        return any(s.rate > 0.0 for s in self._sites.values())
+
+    @property
+    def sites(self) -> Tuple[ChaosSite, ...]:
+        """The configured sites, in stable (name) order."""
+        return tuple(self._sites[name]
+                     for name in sorted(self._sites))
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "sites": {name: site.to_json()
+                          for name, site in sorted(self._sites.items())}}
+
+    @staticmethod
+    def from_json(data: Any) -> "ChaosPolicy":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"chaos spec must be a JSON object, got "
+                f"{type(data).__name__}")
+        sites_doc = data.get("sites", {})
+        if not isinstance(sites_doc, dict):
+            raise ConfigurationError("chaos 'sites' must be an object")
+        known = ("rate", "limit", "delay_s", "status", "retry_after")
+        sites = []
+        for name, cfg in sites_doc.items():
+            if not isinstance(cfg, dict) or "rate" not in cfg:
+                raise ConfigurationError(
+                    f"chaos site {name!r} needs an object with a 'rate'")
+            unknown = sorted(set(cfg) - set(known))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown chaos site field(s) for {name!r}: {unknown}")
+            try:
+                sites.append(ChaosSite(
+                    name=name, rate=float(cfg["rate"]),
+                    limit=(None if cfg.get("limit") is None
+                           else int(cfg["limit"])),
+                    delay_s=float(cfg.get("delay_s", DEFAULT_DELAY_S)),
+                    status=int(cfg.get("status", DEFAULT_ERROR_STATUS)),
+                    retry_after=(None if cfg.get("retry_after") is None
+                                 else float(cfg["retry_after"]))))
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"bad chaos site {name!r}: {exc}")
+        try:
+            seed = int(data.get("seed", 0))
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"chaos seed must be an integer, got {data.get('seed')!r}")
+        return ChaosPolicy(seed=seed, sites=sites)
+
+    @staticmethod
+    def load(path: str) -> "ChaosPolicy":
+        """Parse a ``--chaos SPEC.json`` file."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read chaos spec: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"chaos spec is not JSON: {exc}")
+        return ChaosPolicy.from_json(data)
+
+    def __repr__(self) -> str:
+        return (f"ChaosPolicy(seed={self.seed}, "
+                f"sites={sorted(self._sites)})")
+
+
+class FaultyFS(FileIO):
+    """A :class:`FileIO` that consults a :class:`ChaosPolicy` per write.
+
+    Fault shapes mirror what real disks and kernels do to you:
+
+    * ``fs.enospc`` — the write raises ``OSError(ENOSPC)`` before
+      touching the path (a full disk fails loudly and early).
+    * ``fs.torn`` — half the text lands *non-atomically* at the live
+      path: the torn-write case atomic rename normally rules out, i.e.
+      what a direct-write implementation would suffer. Readers must
+      treat it as corrupt, ``verify --repair`` must quarantine it.
+    * ``fs.bitflip`` — one character of the payload is corrupted before
+      an otherwise-clean atomic write (silent media corruption). Only
+      a content checksum can catch the flips that keep the JSON valid.
+    * ``fs.fsync_lost`` — the rename lands but the content is gone
+      (power loss between write and fsync on journalled-metadata-only
+      filesystems).
+
+    Appends support ``fs.enospc`` and ``fs.torn`` (a torn append is a
+    partial line with no trailing newline — exactly the damage the
+    seal-on-next-append discipline must contain).
+    """
+
+    def __init__(self, policy: ChaosPolicy) -> None:
+        self.policy = policy
+
+    def write_atomic(self, path: str, text: str,
+                     prefix: str = ".tmp-") -> None:
+        if self.policy.fires("fs.enospc"):
+            raise OSError(errno.ENOSPC,
+                          "No space left on device (chaos)", path)
+        if self.policy.fires("fs.torn"):
+            directory = os.path.dirname(path) or "."
+            os.makedirs(directory, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text[:max(1, len(text) // 2)])
+            return
+        site = self.policy.fires("fs.bitflip")
+        if site is not None:
+            text = self._flip(text)
+        if self.policy.fires("fs.fsync_lost"):
+            text = ""
+        super().write_atomic(path, text, prefix=prefix)
+
+    def append(self, path: str, text: str) -> None:
+        if self.policy.fires("fs.enospc"):
+            raise OSError(errno.ENOSPC,
+                          "No space left on device (chaos)", path)
+        if self.policy.fires("fs.torn"):
+            super().append(path, text[:max(1, len(text) // 2)]
+                           .rstrip("\n"))
+            return
+        super().append(path, text)
+
+    def _flip(self, text: str) -> str:
+        if not text:
+            return text
+        n = self.policy.counts()["fired"].get("fs.bitflip", 0)
+        pos = derive_seed(self.policy.seed, "bitflip", n) % len(text)
+        return text[:pos] + chr(ord(text[pos]) ^ 1) + text[pos + 1:]
+
+    def __repr__(self) -> str:
+        return f"FaultyFS({self.policy!r})"

@@ -10,18 +10,57 @@ layer, and boring transport keeps it debuggable with ``curl``.
 All failures — connection refused, non-2xx statuses, malformed bodies —
 surface as :class:`~repro.errors.ServiceError` with the HTTP status
 attached (0 when no response arrived).
+
+Retry policy (the chaos-hardening contract):
+
+* Transport failures (connection refused/reset, timeouts, truncated
+  bodies) and server-fault statuses (429 and 5xx) are retried up to
+  ``retries`` times with capped exponential backoff and **full
+  jitter** — ``uniform(0, min(cap, base * 2^attempt))`` — the
+  AWS-style schedule that avoids synchronized retry storms when many
+  clients hit one recovering daemon.
+* A server ``Retry-After`` hint takes precedence over the jittered
+  delay (capped at ``backoff_cap`` so a confused server cannot park
+  the client).
+* Other 4xx are never retried: the request itself is wrong.
+
+Retrying ``POST /jobs`` after an ambiguous failure (the response was
+lost but the daemon may have acted) is *safe by construction*: job ids
+are content-derived from the normalized spec
+(:func:`~repro.service.jobs.job_id`), so a resubmit coalesces onto the
+already-queued job instead of duplicating work — the service-side
+idempotency that makes at-least-once delivery correct. Asserted in
+``tests/test_chaos_service.py``.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..errors import ServiceError
 from .jobs import TERMINAL, JobSpec
+
+#: Statuses worth retrying: the server (or something in front of it)
+#: failed, not the request.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+def _parse_retry_after(headers: Any) -> Optional[float]:
+    """Seconds from a Retry-After header (delta form only), or None."""
+    try:
+        value = headers.get("Retry-After") if headers else None
+        if value is None:
+            return None
+        seconds = float(value)
+        return seconds if seconds >= 0 else None
+    except (TypeError, ValueError):
+        return None
 
 
 class ServiceClient:
@@ -30,18 +69,33 @@ class ServiceClient:
     Args:
         base_url: daemon root, e.g. ``"http://127.0.0.1:8642"``.
         timeout: per-request socket timeout in seconds.
+        retries: transport/5xx retries per request (0 = fail fast).
+        backoff: base backoff delay in seconds (doubles per attempt).
+        backoff_cap: upper bound on any single retry delay.
+        seed: seed for the jitter RNG (None = entropy; tests pin it).
+        sleep: injectable sleep function (tests assert the schedule
+            without actually waiting).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 4, backoff: float = 0.1,
+                 backoff_cap: float = 2.0,
+                 seed: Optional[int] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = random.Random(seed)
+        self._sleep = sleep
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> bytes:
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None) -> bytes:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -55,19 +109,57 @@ class ServiceClient:
                                         timeout=self.timeout) as resp:
                 return resp.read()
         except urllib.error.HTTPError as exc:
+            retry_after = _parse_retry_after(exc.headers)
             detail = ""
             try:
                 payload = json.loads(exc.read().decode("utf-8"))
                 detail = payload.get("error", "")
-            except (ValueError, AttributeError):
+            except (ValueError, AttributeError, OSError,
+                    http.client.HTTPException):
                 pass
             message = detail or f"{exc.code} {exc.reason}"
             raise ServiceError(
                 f"{method} {path} failed: {message}",
-                status=exc.code) from None
+                status=exc.code, retry_after=retry_after) from None
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"{method} {path} failed: {exc.reason}") from None
+        except (http.client.HTTPException, ConnectionError,
+                TimeoutError) as exc:
+            # A dropped connection mid-response (RemoteDisconnected) or
+            # a truncated body (IncompleteRead): no usable reply.
+            raise ServiceError(
+                f"{method} {path} failed: "
+                f"{type(exc).__name__}: {exc}") from None
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> bytes:
+        """One API call with the retry/backoff policy applied.
+
+        Every route is safe to retry: GET/DELETE are naturally
+        idempotent and POST /jobs coalesces on the content-derived job
+        id (see the module docstring), so the loop needs no per-method
+        carve-outs.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as exc:
+                retryable = (exc.status == 0
+                             or exc.status in RETRYABLE_STATUSES)
+                if not retryable or attempt >= self.retries:
+                    raise
+                self._sleep(self._retry_delay(attempt, exc.retry_after))
+                attempt += 1
+
+    def _retry_delay(self, attempt: int,
+                     retry_after: Optional[float]) -> float:
+        """Full-jitter exponential backoff, overridden by Retry-After."""
+        if retry_after is not None:
+            return min(retry_after, self.backoff_cap)
+        cap = min(self.backoff_cap, self.backoff * (2.0 ** attempt))
+        return self._rng.uniform(0.0, cap)
 
     def _request_json(self, method: str, path: str,
                       body: Optional[Dict[str, Any]] = None
@@ -84,11 +176,20 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def healthz(self) -> bool:
-        """True when the daemon answers its liveness probe."""
+        """True when the daemon answers its liveness probe healthy."""
         try:
             return bool(self._request_json("GET", "/healthz").get("ok"))
         except ServiceError:
             return False
+
+    def health(self) -> Dict[str, Any]:
+        """The detailed /healthz payload (raises when unreachable).
+
+        An unhealthy daemon answers 503 with the same payload in the
+        error body; that surfaces here as a :class:`ServiceError` —
+        use :meth:`healthz` for a boolean, this for the detail.
+        """
+        return self._request_json("GET", "/healthz")
 
     def stats(self) -> Dict[str, Any]:
         return self._request_json("GET", "/stats")
@@ -97,8 +198,9 @@ class ServiceClient:
         """Submit a spec; returns the job snapshot (maybe coalesced)."""
         return self._request_json("POST", "/jobs", body=spec.to_json())
 
-    def jobs(self) -> List[Dict[str, Any]]:
-        return self._request_json("GET", "/jobs").get("jobs", [])
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/jobs" if state is None else f"/jobs?state={state}"
+        return self._request_json("GET", path).get("jobs", [])
 
     def job(self, jid: str) -> Dict[str, Any]:
         return self._request_json("GET", f"/jobs/{jid}")
@@ -127,22 +229,32 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def wait(self, jid: str, timeout: float = 600.0,
-             poll: float = 0.2) -> Dict[str, Any]:
+             poll: float = 0.2, poll_cap: float = 2.0) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state.
+
+        The poll interval starts at ``poll`` (warm submissions still
+        return fast) and backs off geometrically to ``poll_cap`` so a
+        long sweep is not hammered with status requests. A 409's
+        ``Retry-After`` hint, when one bubbles up through the retry
+        layer, is already honored there.
 
         Returns the final snapshot; raises :class:`ServiceError` when
         ``timeout`` elapses first (the job keeps running server-side).
         """
         deadline = time.monotonic() + timeout
+        interval = max(poll, 1e-3)
+        cap = max(poll_cap, interval)
         while True:
             snapshot = self.job(jid)
             if snapshot.get("state") in TERMINAL:
                 return snapshot
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServiceError(
                     f"job {jid} still {snapshot.get('state')} after "
                     f"{timeout:g}s")
-            time.sleep(poll)
+            self._sleep(min(interval, max(deadline - now, 0.0)))
+            interval = min(interval * 1.6, cap)
 
     def submit_and_wait(self, spec: JobSpec, timeout: float = 600.0,
                         poll: float = 0.2) -> bytes:

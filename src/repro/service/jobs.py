@@ -17,8 +17,10 @@ a daemon restart. The moving parts:
   outcome back into the result document. Byte-identity between a
   submitted job and a local run is *by construction*, not by test luck.
 * :class:`Job` — the mutable execution record: state machine
-  (``queued → running → done|failed|cancelled``), per-point progress
-  counters (done / cached / failed), timestamps, error text.
+  (``queued → running → done|failed|cancelled``, plus ``dead`` when a
+  job exhausts its lease-takeover attempt budget), per-point progress
+  counters (done / cached / failed), lease stamps, timestamps, error
+  text.
 * :class:`JobStore` — one directory per job with atomic JSON
   persistence (``job.json``), an append-only NDJSON progress log
   (``events.ndjson``) and the rendered result document
@@ -30,7 +32,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 from .. import units
 from ..errors import ConfigurationError, ServiceError, SpecValidationError
 from ..store import cache_key
+from ..store.fsio import FileIO, tail_sealed
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -46,9 +48,14 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
-STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+#: Dead-letter: the job's lease expired ``max_attempts`` times — every
+#: daemon that picked it up died (or hung past the lease) mid-run.
+#: Listed via ``GET /jobs?state=dead`` for operator triage; a resubmit
+#: resets the attempt budget and tries again.
+DEAD = "dead"
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, DEAD)
 #: States a job cannot leave without being resubmitted.
-TERMINAL = (DONE, FAILED, CANCELLED)
+TERMINAL = (DONE, FAILED, CANCELLED, DEAD)
 
 #: The spec kinds the service executes.
 KINDS = ("sweep", "matrix")
@@ -289,9 +296,24 @@ class Job:
     #: Times this job has been (re)executed — a resubmitted spec re-runs
     #: under the same id with counters reset.
     runs: int = 0
+    #: Executions charged against the current submission's attempt
+    #: budget (unlike ``runs``, reset by :meth:`reset_run`); when a
+    #: lease-expiry takeover would exceed the service's
+    #: ``max_attempts``, the job goes ``dead`` instead of requeueing.
+    attempts: int = 0
+    #: The lease: which daemon instance is executing this job, and the
+    #: wall-clock time its claim expires. The executor heartbeats
+    #: ``lease_expires`` forward in ``job.json``; a ``running`` job
+    #: whose lease has lapsed is provably orphaned (its daemon was
+    #: SIGKILLed or hung) and is safe to take over.
+    lease_owner: Optional[str] = None
+    lease_expires: Optional[float] = None
     #: True when the last execution was fully served from the store
     #: without touching the worker pool (the warm short-circuit).
     warm: bool = False
+    #: True when the execution hit storage faults and degraded to
+    #: no-cache mode (results correct, some points not persisted).
+    degraded: bool = False
     error: Optional[str] = None
 
     @property
@@ -309,7 +331,11 @@ class Job:
             "progress": {"total": self.total, "done": self.done,
                          "cached": self.cached, "failed": self.failed},
             "runs": self.runs,
+            "attempts": self.attempts,
+            "lease": {"owner": self.lease_owner,
+                      "expires": self.lease_expires},
             "warm": self.warm,
+            "degraded": self.degraded,
             "error": self.error,
         }
 
@@ -319,6 +345,7 @@ class Job:
         state = data.get("state")
         if state not in STATES:
             raise ConfigurationError(f"bad job state {state!r}")
+        lease = data.get("lease") or {}
         return Job(
             id=data["id"], spec=JobSpec.from_json(data["spec"]),
             state=state, created=data.get("created", 0.0),
@@ -328,8 +355,16 @@ class Job:
             cached=int(progress.get("cached", 0)),
             failed=int(progress.get("failed", 0)),
             runs=int(data.get("runs", 0)),
+            attempts=int(data.get("attempts", 0)),
+            lease_owner=lease.get("owner"),
+            lease_expires=lease.get("expires"),
             warm=bool(data.get("warm", False)),
+            degraded=bool(data.get("degraded", False)),
             error=data.get("error"))
+
+    def clear_lease(self) -> None:
+        self.lease_owner = None
+        self.lease_expires = None
 
     def reset_run(self) -> None:
         """Back to the queue for a fresh execution (resubmit/requeue)."""
@@ -337,7 +372,10 @@ class Job:
         self.started = None
         self.finished = None
         self.total = self.done = self.cached = self.failed = 0
+        self.attempts = 0
+        self.clear_lease()
         self.warm = False
+        self.degraded = False
         self.error = None
 
 
@@ -352,16 +390,20 @@ class JobStore:
                         checkpoint.json harness checkpoint (mid-run)
 
     ``job.json`` writes are tempfile + ``os.replace`` (same durability
-    rule as the result store), so a killed daemon leaves at worst a
-    stale-but-parseable snapshot; :meth:`load_all` is how a restarted
-    daemon resumes its queue.
+    rule as the result store, through the same injectable
+    :class:`~repro.store.fsio.FileIO` seam), so a killed daemon leaves
+    at worst a stale-but-parseable snapshot; :meth:`load_all` is how a
+    restarted daemon resumes its queue. Event appends seal a torn
+    trailing NDJSON line before writing, the same discipline as the
+    store catalog, so one killed append never corrupts later records.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, fs: Optional[FileIO] = None) -> None:
         if not root:
             raise ConfigurationError("JobStore needs a root directory")
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
+        self.fs = fs if fs is not None else FileIO()
         self._lock = threading.Lock()
         #: Next event sequence number per job id (lazily initialized
         #: from the event file's line count on first append).
@@ -394,21 +436,9 @@ class JobStore:
 
     def save(self, job: Job) -> None:
         """Atomically persist one job snapshot."""
-        directory = self.job_dir(job.id)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".job-",
-                                        suffix=".json")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(job.to_json(), fh, indent=1, sort_keys=True)
-                fh.write("\n")
-            os.replace(tmp_path, self._job_path(job.id))
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        text = json.dumps(job.to_json(), indent=1, sort_keys=True) + "\n"
+        self.fs.write_atomic(self._job_path(job.id), text,
+                             prefix=".job-")
 
     def load(self, jid: str) -> Optional[Job]:
         """One persisted job, or None (missing/corrupt = absent)."""
@@ -446,11 +476,13 @@ class JobStore:
             if seq is None:
                 seq = sum(1 for _ in self.events(jid))
             path = self._events_path(jid)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
             line = json.dumps({"seq": seq, "ts": round(time.time(), 3),
                                **event}, sort_keys=True)
-            with open(path, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+            # Seal-on-next-append (same rule as the store catalog): a
+            # daemon killed mid-append leaves a torn final line; weld
+            # this record onto it and both are lost to readers.
+            prefix = "" if tail_sealed(path) else "\n"
+            self.fs.append(path, prefix + line + "\n")
             self._event_seq[jid] = seq + 1
             return seq
 
@@ -479,20 +511,8 @@ class JobStore:
 
     def write_result(self, jid: str, text: str) -> None:
         """Atomically persist the rendered result document."""
-        directory = self.job_dir(jid)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".result-",
-                                        suffix=".json")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(text)
-            os.replace(tmp_path, self._result_path(jid))
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        self.fs.write_atomic(self._result_path(jid), text,
+                             prefix=".result-")
 
     def read_result(self, jid: str) -> Optional[bytes]:
         try:

@@ -8,39 +8,58 @@ parsing and status codes:
 Method       Path                            Meaning
 ===========  ==============================  =================================
 ``POST``     ``/jobs``                       submit a JobSpec document
-``GET``      ``/jobs``                       list all jobs (snapshots)
+``GET``      ``/jobs``                       list jobs (``?state=dead`` etc.)
 ``GET``      ``/jobs/<id>``                  one job snapshot
 ``GET``      ``/jobs/<id>/result``           the result document (raw bytes)
 ``GET``      ``/jobs/<id>/events``           NDJSON progress (``?since=N``)
 ``DELETE``   ``/jobs/<id>``                  cancel
-``GET``      ``/healthz``                    liveness probe
+``GET``      ``/healthz``                    liveness probe (detail payload)
 ``GET``      ``/stats``                      service + store counters
 ===========  ==============================  =================================
 
 Status codes: 200/202 on success, 400 for malformed specs, 404 for
-unknown jobs, 409 for a result that is not ready. Error bodies are
-always ``{"error": "<message>"}``.
+unknown jobs, 409 for a result that is not ready (with a
+``Retry-After`` hint so pollers pace themselves), 503 when job
+persistence hit a storage fault (also with ``Retry-After`` — resubmit
+is idempotent by content-derived job id). Error bodies are always
+``{"error": "<message>"}``. ``/healthz`` answers 200 with a detail
+payload (dispatcher liveness, queue depth, store writability) when
+healthy and 503 with the same payload when not, so monitors can tell
+*hung* from *busy*.
 
 ``ThreadingHTTPServer`` gives one thread per connection;
 :class:`~.queue.SweepService` is thread-safe, so concurrent clients
 need no extra coordination. Bind port 0 to get an ephemeral port
 (tests read it back from ``server.server_address``).
+
+Chaos: constructed with a :class:`~.chaos.ChaosPolicy`, every request
+first consults the ``http.*`` fault sites — injected delay, dropped
+connection, 5xx, or a truncated body — before normal routing. That is
+how the retry behavior of :class:`~.client.ServiceClient` is tested
+against a deterministic adversary (``repro serve --chaos SPEC.json``).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import ServiceError
-from .jobs import DONE, FAILED, JobSpec
+from .chaos import ChaosPolicy
+from .jobs import DONE, FAILED, STATES, JobSpec
 from .queue import SweepService
 
 #: Largest request body the server will read (a JobSpec with a large
 #: template scenario fits easily; anything bigger is abuse).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Retry-After hint (seconds) on "result not ready" and storage-fault
+#: responses — short, because the condition usually clears at the next
+#: point boundary.
+RETRY_AFTER_S = 1.0
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -60,23 +79,63 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send(self, status: int, body: bytes,
-              content_type: str = "application/json") -> None:
+              content_type: str = "application/json",
+              retry_after: Optional[float] = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
         self.end_headers()
+        if getattr(self, "_chaos_truncate", False):
+            # The advertised Content-Length stands but only half the
+            # body goes out: the client's read raises IncompleteRead.
+            body = body[:len(body) // 2]
+            self.close_connection = True
         try:
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; nothing to clean up
 
-    def _send_json(self, status: int, doc: Any) -> None:
+    def _send_json(self, status: int, doc: Any,
+                   retry_after: Optional[float] = None) -> None:
         body = (json.dumps(doc, indent=1, sort_keys=True) + "\n") \
             .encode("utf-8")
-        self._send(status, body)
+        self._send(status, body, retry_after=retry_after)
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error(self, status: int, message: str,
+                    retry_after: Optional[float] = None) -> None:
+        self._send_json(status, {"error": message},
+                        retry_after=retry_after)
+
+    def _chaos_intercept(self) -> bool:
+        """Consult the http.* fault sites; True = request consumed.
+
+        Ordering is fixed (delay, drop, error, truncate) so a seeded
+        policy replays identically. Truncation only arms a flag — the
+        damage happens in :meth:`_send`, whatever the response is.
+        """
+        self._chaos_truncate = False  # keep-alive: reset per request
+        policy: Optional[ChaosPolicy] = getattr(self.server, "chaos",
+                                                None)
+        if policy is None:
+            return False
+        site = policy.fires("http.delay")
+        if site is not None:
+            time.sleep(site.delay_s)
+        if policy.fires("http.drop") is not None:
+            # Close without any response bytes: the client sees a
+            # reset/remote-disconnect, the ambiguous failure shape.
+            self.close_connection = True
+            return True
+        site = policy.fires("http.error")
+        if site is not None:
+            self._send_error(site.status, "chaos: injected server error",
+                             retry_after=site.retry_after)
+            return True
+        if policy.fires("http.truncate") is not None:
+            self._chaos_truncate = True
+        return False
 
     def _read_body(self) -> Optional[bytes]:
         try:
@@ -99,6 +158,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- methods -------------------------------------------------------
 
     def do_POST(self) -> None:
+        if self._chaos_intercept():
+            return
         path, _ = self._route()
         if path != "/jobs":
             self._send_error(404, f"no such route: POST {path}")
@@ -117,19 +178,37 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except ServiceError as exc:
             self._send_error(400, str(exc))
             return
+        except OSError as exc:
+            # Job persistence failed (full disk, chaos): the submit
+            # was not durably acknowledged. Retryable — job ids are
+            # content-derived, so a resubmit coalesces, never forks.
+            self._send_error(503, f"job store write failed: {exc}",
+                             retry_after=RETRY_AFTER_S)
+            return
         self._send_json(202, job.to_json())
 
     def do_GET(self) -> None:
+        if self._chaos_intercept():
+            return
         path, query = self._route()
         if path == "/healthz":
-            self._send_json(200, {"ok": True})
+            health = self.service.health()
+            self._send_json(200 if health.get("ok") else 503, health)
             return
         if path == "/stats":
             self._send_json(200, self.service.stats())
             return
         if path == "/jobs":
-            self._send_json(200, {"jobs": [
-                job.to_json() for job in self.service.list_jobs()]})
+            state = query.get("state", [None])[0]
+            if state is not None and state not in STATES:
+                self._send_error(
+                    400, f"state must be one of {STATES}, got {state!r}")
+                return
+            jobs = self.service.list_jobs()
+            if state is not None:
+                jobs = [job for job in jobs if job.state == state]
+            self._send_json(200, {"jobs": [job.to_json()
+                                           for job in jobs]})
             return
         parts = path.strip("/").split("/")
         if parts[0] != "jobs" or len(parts) not in (2, 3):
@@ -150,6 +229,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error(404, f"no such route: GET {path}")
 
     def do_DELETE(self) -> None:
+        if self._chaos_intercept():
+            return
         path, _ = self._route()
         parts = path.strip("/").split("/")
         if parts[0] != "jobs" or len(parts) != 2:
@@ -168,12 +249,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error(409, f"job {jid} failed: {job.error}")
             return
         if job.state != DONE:
+            # Not ready yet: hint the polling cadence so raw HTTP
+            # clients don't hammer the daemon (ServiceClient honors
+            # Retry-After in its retry layer).
             self._send_error(409,
-                             f"job {jid} is {job.state}, not done")
+                             f"job {jid} is {job.state}, not done",
+                             retry_after=RETRY_AFTER_S)
             return
         body = self.service.result_bytes(jid)
         if body is None:  # done but file missing: crashed mid-write
-            self._send_error(409, f"job {jid} has no result document")
+            self._send_error(409, f"job {jid} has no result document",
+                             retry_after=RETRY_AFTER_S)
             return
         self._send(200, body)
 
@@ -202,10 +288,14 @@ class ReproServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address: Tuple[str, int], service: SweepService,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 chaos: Optional[ChaosPolicy] = None) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.service = service
         self.verbose = verbose
+        #: Armed fault schedule; every request consults the ``http.*``
+        #: sites before routing (None = no injection).
+        self.chaos = chaos
 
     @property
     def port(self) -> int:
@@ -227,7 +317,8 @@ class ReproServer(ThreadingHTTPServer):
 
 
 def serve_background(service: SweepService, host: str = "127.0.0.1",
-                     port: int = 0) -> ReproServer:
+                     port: int = 0,
+                     chaos: Optional[ChaosPolicy] = None) -> ReproServer:
     """Start a server on a daemon thread; returns the live server.
 
     The caller owns shutdown (``server.close()``). Used by tests and
@@ -235,7 +326,7 @@ def serve_background(service: SweepService, host: str = "127.0.0.1",
     the foreground instead.
     """
     import threading
-    server = ReproServer((host, port), service)
+    server = ReproServer((host, port), service, chaos=chaos)
     service.start()
     thread = threading.Thread(target=server.serve_forever,
                               kwargs={"poll_interval": 0.2},

@@ -34,13 +34,14 @@ stats|ls|gc|verify --cache-dir DIR``.
 """
 
 from .catalog import Catalog, summarize_params
+from .fsio import FileIO, tail_sealed
 from .keys import (STORE_SCHEMA_VERSION, cache_key, canonical_json,
                    code_fingerprint, point_cache_key, task_name)
 from .store import GcReport, ResultStore, StoreStats, VerifyReport
 
 __all__ = [
-    "Catalog", "GcReport", "ResultStore", "STORE_SCHEMA_VERSION",
-    "StoreStats", "VerifyReport", "cache_key", "canonical_json",
-    "code_fingerprint", "point_cache_key", "summarize_params",
-    "task_name",
+    "Catalog", "FileIO", "GcReport", "ResultStore",
+    "STORE_SCHEMA_VERSION", "StoreStats", "VerifyReport", "cache_key",
+    "canonical_json", "code_fingerprint", "point_cache_key",
+    "summarize_params", "tail_sealed", "task_name",
 ]

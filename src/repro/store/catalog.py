@@ -27,6 +27,7 @@ import time
 from collections import Counter
 from typing import Any, Dict, Iterator, Mapping, Optional
 
+from .fsio import FileIO, tail_sealed
 from .locks import advisory_lock
 
 #: The lookup events a catalog line may carry.
@@ -81,8 +82,11 @@ def summarize_params(params: Mapping[str, Any]) -> Dict[str, Any]:
 class Catalog:
     """The append-only JSONL manifest beside a :class:`ResultStore`."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, fs: Optional[FileIO] = None) -> None:
         self.path = os.path.abspath(path)
+        #: The filesystem seam (shared with the owning store, so chaos
+        #: injected there also reaches catalog appends).
+        self.fs = fs if fs is not None else FileIO()
         self._lock_path = self.path + ".lock"
 
     # ------------------------------------------------------------------
@@ -102,24 +106,30 @@ class Catalog:
             "summary": dict(summary or {}),
         }, sort_keys=True)
         with advisory_lock(self._lock_path):
-            os.makedirs(os.path.dirname(self.path), exist_ok=True)
             # A writer killed mid-append can leave a torn final line
             # with no trailing newline. Appending straight after it
             # would weld this record onto the garbage and lose both;
             # sealing the tail first confines the damage to the torn
             # line (which entries() already skips).
             prefix = "" if self._tail_sealed() else "\n"
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(prefix + line + "\n")
+            self.fs.append(self.path, prefix + line + "\n")
 
     def _tail_sealed(self) -> bool:
         """True when the file is empty/missing or ends in a newline."""
-        try:
-            with open(self.path, "rb") as fh:
-                fh.seek(-1, os.SEEK_END)
-                return fh.read(1) == b"\n"
-        except OSError:  # missing file, or seek past start of empty file
-            return True
+        return tail_sealed(self.path)
+
+    def seal(self) -> None:
+        """Seal a torn trailing line now, without waiting for a write.
+
+        The repair-path counterpart of seal-on-next-append: a store
+        ``verify(repair=True)`` calls this so a catalog whose last
+        writer was killed mid-append is immediately safe to append to
+        and its torn line is confined, even if no new lookup ever
+        happens.
+        """
+        with advisory_lock(self._lock_path):
+            if not self._tail_sealed():
+                self.fs.append(self.path, "\n")
 
     # ------------------------------------------------------------------
     # Reading

@@ -12,16 +12,22 @@ An entry file is a single JSON document::
 
     {"version": 1, "key": "<64 hex>", "fingerprint": "repro=...;...",
      "task": "repro.analysis.sweep:run_rate_delay_point",
-     "meta": {"point": "2mbps", ...}, "result": <JSON result>}
+     "meta": {"point": "2mbps", ...}, "check": "<16 hex>",
+     "result": <JSON result>}
 
 Durability rules:
 
 * **Writes are atomic**: tempfile in the shard directory + ``os.replace``
-  under an advisory lock. A killed worker leaves at worst a
-  ``.tmp-*`` orphan, never a half-written entry at a live key.
+  under an advisory lock (through the injectable
+  :class:`~repro.store.fsio.FileIO` seam, so chaos tests can make the
+  disk lie). A killed worker leaves at worst a ``.tmp-*`` orphan,
+  never a half-written entry at a live key.
 * **Reads are corruption-tolerant**: unparsable JSON, a key mismatch,
-  or a missing ``result`` field is a cache *miss*, never a crash.
-  :meth:`verify` reports such entries, :meth:`gc` collects them.
+  a missing ``result`` field, or a ``check`` checksum mismatch (a bit
+  flip that kept the JSON parseable) is a cache *miss*, never a crash.
+  :meth:`verify` reports such entries, :meth:`gc` collects them, and
+  ``verify(repair=True)`` quarantines them into ``<root>/quarantine/``
+  for post-mortem instead of deleting evidence.
 * **Only successes are stored**: callers (see
   :func:`repro.analysis.backends.execute_point`) must only ``put``
   results that completed; failures go to the catalog as ``fail``
@@ -34,19 +40,36 @@ ships it to workers and all processes share one cache coherently.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .catalog import Catalog
-from .keys import code_fingerprint
+from .fsio import FileIO
+from .keys import canonical_json, code_fingerprint
 from .locks import advisory_lock
 
 ENTRY_VERSION = 1
+
+
+def _result_check(result: Any) -> Optional[str]:
+    """Truncated SHA-256 of the canonical result text.
+
+    The content checksum stored in every entry's ``check`` field: the
+    only defense against silent media corruption that keeps the JSON
+    parseable (a flipped digit is a wrong answer, not a parse error).
+    Returns None for a result that cannot be canonicalized — such an
+    entry simply carries no checksum, like pre-checksum history.
+    """
+    try:
+        text = canonical_json(result)
+    except ConfigurationError:
+        return None
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 #: Internal miss sentinel (a stored result may legitimately be None).
 _MISS = object()
@@ -72,12 +95,17 @@ class StoreStats:
 
 @dataclass
 class VerifyReport:
-    """What :meth:`ResultStore.verify` found."""
+    """What :meth:`ResultStore.verify` found (and, with repair, moved)."""
 
     checked: int
     ok: int
     corrupt: List[str] = field(default_factory=list)
     temp: List[str] = field(default_factory=list)
+    #: Destination paths of objects moved into ``quarantine/`` by a
+    #: ``verify(repair=True)`` pass.
+    quarantined: List[str] = field(default_factory=list)
+    #: True when this report reflects a repair pass.
+    repaired: bool = False
 
     @property
     def clean(self) -> bool:
@@ -103,16 +131,23 @@ class ResultStore:
     """A content-addressed result cache rooted at one directory."""
 
     def __init__(self, root: str,
-                 fingerprint: Optional[str] = None) -> None:
+                 fingerprint: Optional[str] = None,
+                 fs: Optional[FileIO] = None) -> None:
         if not root:
             raise ConfigurationError("ResultStore needs a root directory")
         self.root = os.path.abspath(root)
         self.objects_dir = os.path.join(self.root, "objects")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
         #: Pinned at construction so one sweep uses one consistent
         #: fingerprint even if modules are reloaded mid-run.
         self.fingerprint = fingerprint or code_fingerprint()
-        self.catalog = Catalog(os.path.join(self.root, "catalog.jsonl"))
+        #: The filesystem seam — a chaos test swaps in a
+        #: :class:`~repro.service.chaos.FaultyFS` here.
+        self.fs = fs if fs is not None else FileIO()
+        self.catalog = Catalog(os.path.join(self.root, "catalog.jsonl"),
+                               fs=self.fs)
         self._lock_path = os.path.join(self.root, ".lock")
+        self._last_use_path = os.path.join(self.root, "last_use.json")
 
     # ------------------------------------------------------------------
     # Addressing
@@ -145,29 +180,16 @@ class ResultStore:
             "fingerprint": self.fingerprint,
             "task": task,
             "meta": dict(meta or {}),
+            "check": _result_check(result),
             "result": result,
         }
         try:
-            text = json.dumps(payload, sort_keys=True)
+            text = json.dumps(payload, sort_keys=True) + "\n"
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(
                 f"cache results must be JSON-serializable: {exc}")
-        shard = os.path.dirname(path)
-        os.makedirs(shard, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=shard, prefix=".tmp-",
-                                        suffix=".json")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(text)
-                fh.write("\n")
-            with advisory_lock(self._lock_path):
-                os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        with advisory_lock(self._lock_path):
+            self.fs.write_atomic(path, text, prefix=".tmp-")
         return path
 
     def fetch(self, key: str) -> Tuple[bool, Any]:
@@ -211,12 +233,22 @@ class ResultStore:
     # Maintenance
     # ------------------------------------------------------------------
 
-    def verify(self) -> VerifyReport:
-        """Check every entry parses and matches its filename key.
+    def verify(self, repair: bool = False) -> VerifyReport:
+        """Check every entry parses, matches its key, and checksums.
 
-        Detects the two failure shapes a killed worker can leave:
-        orphaned ``.tmp-*`` files (reported in ``temp``) and truncated
-        or foreign entry files (reported in ``corrupt``).
+        Detects the failure shapes a killed or lying writer can leave:
+        orphaned ``.tmp-*`` files (reported in ``temp``), and truncated,
+        foreign, or silently bit-flipped entry files (reported in
+        ``corrupt`` — the entry ``check`` checksum catches corruption
+        that keeps the JSON parseable).
+
+        With ``repair=True`` the store heals itself: every flagged file
+        moves into ``<root>/quarantine/`` (evidence preserved, the key
+        becomes an honest miss), the catalog's torn tail is sealed, and
+        the last-use index is rebuilt into ``last_use.json`` so the GC
+        LRU policy survives a catalog that lost history. After a repair
+        pass a fresh ``verify()`` is clean by construction — quarantine
+        lives outside ``objects/`` and is never scanned.
         """
         checked = ok = 0
         corrupt: List[str] = []
@@ -232,8 +264,54 @@ class ResultStore:
                 corrupt.append(path)
             else:
                 ok += 1
-        return VerifyReport(checked=checked, ok=ok, corrupt=corrupt,
-                            temp=temp)
+        report = VerifyReport(checked=checked, ok=ok, corrupt=corrupt,
+                              temp=temp)
+        if repair:
+            report.quarantined = self._quarantine(corrupt + temp)
+            self.catalog.seal()
+            self._rebuild_last_use()
+            report.repaired = True
+        return report
+
+    def _quarantine(self, paths: List[str]) -> List[str]:
+        """Move flagged files under ``quarantine/``; returns new paths."""
+        if not paths:
+            return []
+        moved: List[str] = []
+        with advisory_lock(self._lock_path):
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            for path in paths:
+                dest = os.path.join(self.quarantine_dir,
+                                    os.path.basename(path))
+                n = 0
+                while os.path.exists(dest):  # same basename, twice
+                    n += 1
+                    dest = os.path.join(self.quarantine_dir,
+                                        f"{os.path.basename(path)}.{n}")
+                try:
+                    os.replace(path, dest)
+                except OSError:
+                    continue  # vanished under us (concurrent gc)
+                moved.append(dest)
+        return moved
+
+    def writable(self) -> bool:
+        """Probe whether the store can durably write right now.
+
+        A round-trip write/remove through the (possibly chaotic) fs
+        seam — the ``/healthz`` store probe, so monitors see a full
+        disk as unhealthy before jobs start degrading.
+        """
+        probe = os.path.join(self.root, f".probe-{os.getpid()}")
+        try:
+            self.fs.write_atomic(probe, "ok\n", prefix=".probe-")
+        except OSError:
+            return False
+        try:
+            os.unlink(probe)
+        except OSError:
+            pass
+        return True
 
     def gc(self, max_age_days: Optional[float] = None,
            max_bytes: Optional[int] = None) -> GcReport:
@@ -306,13 +384,55 @@ class ResultStore:
     def _entries_by_last_use(self) -> List[Tuple[float, str, int]]:
         """Good entries as ``(last_use, path, bytes)``, oldest first.
 
-        Last use comes from the catalog where available; entries the
-        catalog has never timestamped (pre-``ts`` history, or a catalog
-        wiped by hand) fall back to file mtime, which the atomic-rename
-        write set at store time.
+        Last use comes from the catalog where available, then from the
+        ``last_use.json`` snapshot a repair pass rebuilt (covering keys
+        whose catalog history was torn away), and finally from file
+        mtime, which the atomic-rename write set at store time.
         """
         last_use = self.catalog.last_use_by_key()
+        snapshot = self._load_last_use_snapshot()
         entries: List[Tuple[float, str, int]] = []
+        for path in self._object_paths():
+            name = os.path.basename(path)
+            if name.startswith(".tmp-"):
+                continue
+            key = name[:-len(".json")] if name.endswith(".json") else name
+            ts = last_use.get(key)
+            if ts is None:
+                ts = snapshot.get(key)
+            if ts is None:
+                try:
+                    ts = os.path.getmtime(path)
+                except OSError:
+                    continue  # vanished under us (concurrent gc)
+            entries.append((ts, path, self._size(path)))
+        entries.sort()
+        return entries
+
+    def _load_last_use_snapshot(self) -> Dict[str, float]:
+        """The repair-built last-use index (missing/corrupt = empty)."""
+        try:
+            with open(self._last_use_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return {}
+        if not isinstance(data, dict):
+            return {}
+        return {str(key): float(ts) for key, ts in data.items()
+                if isinstance(ts, (int, float))}
+
+    def _rebuild_last_use(self) -> Dict[str, float]:
+        """Recompute and persist the per-key last-use index.
+
+        Part of ``verify(repair=True)``: after quarantining corrupt
+        objects (and possibly losing torn catalog lines), the GC's
+        notion of "recently used" is re-derived from the surviving
+        catalog plus object mtimes and snapshotted, so an LRU eviction
+        pass after a repair still evicts oldest-first instead of
+        treating history-less keys as brand new.
+        """
+        last_use = self.catalog.last_use_by_key()
+        index: Dict[str, float] = {}
         for path in self._object_paths():
             name = os.path.basename(path)
             if name.startswith(".tmp-"):
@@ -323,10 +443,16 @@ class ResultStore:
                 try:
                     ts = os.path.getmtime(path)
                 except OSError:
-                    continue  # vanished under us (concurrent gc)
-            entries.append((ts, path, self._size(path)))
-        entries.sort()
-        return entries
+                    continue
+            index[key] = float(ts)
+        try:
+            self.fs.write_atomic(
+                self._last_use_path,
+                json.dumps(index, sort_keys=True) + "\n",
+                prefix=".tmp-")
+        except OSError:
+            pass  # advisory index: losing it degrades GC to mtimes
+        return index
 
     def stats(self) -> StoreStats:
         entries = 0
@@ -369,6 +495,13 @@ class ResultStore:
         if not isinstance(entry, dict) or "result" not in entry:
             return _MISS
         if entry.get("version") != ENTRY_VERSION:
+            return _MISS
+        # A present-but-wrong checksum means the bytes changed after
+        # put — silent corruption that kept the JSON parseable. Absent
+        # checksums (pre-checksum entries) stay valid: a missing guard
+        # is not evidence of damage.
+        check = entry.get("check")
+        if check is not None and check != _result_check(entry["result"]):
             return _MISS
         return entry
 

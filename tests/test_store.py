@@ -202,6 +202,81 @@ class TestVerifyAndGc:
         assert store.gc().kept == 0
 
 
+class TestVerifyRepair:
+    def test_checksum_catches_valid_json_corruption(self, store):
+        """A flipped value that keeps the JSON parseable still fails."""
+        key = cache_key("t", {"x": 1})
+        path = store.put(key, {"v": 1.5})
+        with open(path) as fh:
+            text = fh.read()
+        with open(path, "w") as fh:
+            fh.write(text.replace("1.5", "2.5"))
+        assert store.fetch(key) == (False, None)
+        report = store.verify()
+        assert report.corrupt == [path]
+
+    def test_legacy_entries_without_check_stay_valid(self, store):
+        """Pre-checksum entries (no ``check`` field) still read back."""
+        import json
+        key = cache_key("t", {"x": 1})
+        path = store.put(key, {"v": 1})
+        with open(path) as fh:
+            doc = json.load(fh)
+        del doc["check"]
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        assert store.fetch(key) == (True, {"v": 1})
+        assert store.verify().clean
+
+    def test_repair_quarantines_everything_flagged(self, store):
+        good = cache_key("t", {"x": 1})
+        bad = cache_key("t", {"x": 2})
+        store.put(good, {"v": 1})
+        bad_path = store.put(bad, {"v": 2})
+        with open(bad_path, "w") as fh:
+            fh.write("not json at all")
+        tmp = os.path.join(os.path.dirname(bad_path), ".tmp-killed.json")
+        with open(tmp, "w") as fh:
+            fh.write('{"version": 1, "key": "')
+        report = store.verify(repair=True)
+        assert report.repaired
+        assert len(report.quarantined) == 2
+        assert all(os.path.exists(path)
+                   for path in report.quarantined)  # evidence preserved
+        assert not os.path.exists(bad_path) and not os.path.exists(tmp)
+        after = store.verify()
+        assert after.clean and after.ok == 1
+        assert store.contains(good) and not store.contains(bad)
+
+    def test_repair_names_survive_collisions(self, store):
+        """Re-corrupting the same key twice never overwrites evidence."""
+        key = cache_key("t", {"x": 1})
+        for round_ in range(2):
+            path = store.put(key, {"v": round_})
+            with open(path, "w") as fh:
+                fh.write("garbage")
+            assert len(store.verify(repair=True).quarantined) == 1
+        names = sorted(os.listdir(store.quarantine_dir))
+        assert len(names) == 2
+        assert names[1] == names[0] + ".1"
+
+    def test_repair_on_clean_store_is_a_no_op(self, store):
+        store.put(cache_key("t", {"x": 1}), {"v": 1})
+        report = store.verify(repair=True)
+        assert report.repaired and report.quarantined == []
+        assert store.verify().clean
+
+    def test_repair_seals_a_torn_catalog_tail(self, store):
+        store.catalog.record("ab" * 32, "miss")
+        with open(store.catalog.path, "a") as fh:
+            fh.write('{"key": "cd')  # killed mid-append
+        store.verify(repair=True)
+        with open(store.catalog.path) as fh:
+            assert fh.read().endswith("\n")
+        store.catalog.record("ef" * 32, "hit")
+        assert store.catalog.counts() == {"miss": 1, "hit": 1}
+
+
 class TestCatalog:
     def test_record_and_entries(self, tmp_path):
         catalog = Catalog(str(tmp_path / "c.jsonl"))
